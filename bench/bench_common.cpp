@@ -1,0 +1,186 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <map>
+
+#include "common/stats.hpp"
+
+namespace fades::bench {
+
+namespace {
+
+unsigned envCount(const char* name, unsigned defaultCount) {
+  if (const char* v = std::getenv(name)) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  return defaultCount;
+}
+
+}  // namespace
+
+unsigned classifyCount(unsigned defaultCount) {
+  return envCount("FADES_FAULTS", defaultCount);
+}
+
+unsigned timingCount(unsigned defaultCount) {
+  const unsigned n = envCount("FADES_FAULTS", defaultCount);
+  return n < defaultCount ? n : defaultCount;
+}
+
+System8051::System8051()
+    : workload_(mc8051::bubblesort(6)),
+      nl_(mc8051::buildCore(workload_.bytes)),
+      impl_(synth::implement(nl_, fpga::DeviceSpec::virtex1000Like())) {}
+
+core::FadesOptions System8051::fadesOptions() const {
+  core::FadesOptions opt;
+  opt.observedOutputs = {"p0", "p1"};
+  return opt;
+}
+
+core::FadesTool& System8051::fades() {
+  if (!fades_) {
+    device_ = std::make_unique<fpga::Device>(impl_.spec);
+    fades_ = std::make_unique<core::FadesTool>(*device_, impl_,
+                                               workload_.cycles,
+                                               fadesOptions());
+  }
+  return *fades_;
+}
+
+core::FadesTool& System8051::fadesForDelay() {
+  if (!fadesDelay_) {
+    // Measure the fault-free critical path, then rebuild the device with a
+    // clock period sitting just above it so that injected delays can push
+    // individual paths past setup.
+    fpga::Device probe(impl_.spec);
+    probe.writeFullBitstream(impl_.bitstream);
+    probe.setTimingEnabled(true);
+    probe.settle();
+    const double maxArrival = probe.timingReport().maxArrivalNs;
+
+    fpga::DeviceSpec spec = impl_.spec;
+    spec.clockPeriodNs = maxArrival + spec.ffSetupNs + 0.35;
+    delayDevice_ = std::make_unique<fpga::Device>(spec);
+    fadesDelay_ = std::make_unique<core::FadesTool>(
+        *delayDevice_, impl_, workload_.cycles, fadesOptions());
+  }
+  return *fadesDelay_;
+}
+
+vfit::VfitTool& System8051::vfit() {
+  if (!vfit_) {
+    vfit::VfitOptions opt;
+    opt.observedOutputs = {"p0", "p1"};
+    vfit_ = std::make_unique<vfit::VfitTool>(nl_, workload_.cycles, opt);
+  }
+  return *vfit_;
+}
+
+void System8051::printHeadline() const {
+  const auto& s = impl_.stats;
+  std::printf(
+      "System under test: MC8051 subset + %s (%llu cycles; paper: 1303)\n"
+      "Implementation on %s: %u LUTs, %u FFs, %u memory blocks "
+      "(paper: 5310 LUTs, 637 FFs of 24576)\n\n",
+      workload_.name.c_str(),
+      static_cast<unsigned long long>(workload_.cycles),
+      impl_.spec.name.c_str(), s.luts, s.flops, s.memBlocks);
+}
+
+std::string withPaper(double measured, const std::string& paper,
+                      int decimals) {
+  return common::fixed(measured, decimals) + " (paper: " + paper + ")";
+}
+
+std::string pct3(const campaign::CampaignResult& r) {
+  return common::fixed(r.failurePct(), 1) + " / " +
+         common::fixed(r.latentPct(), 1) + " / " +
+         common::fixed(r.silentPct(), 1);
+}
+
+void printTable(const std::string& title,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::printf("%s\n%s\n", title.c_str(),
+              common::renderTable(header, rows).c_str());
+}
+
+std::vector<campaign::CampaignResult> bandSweep(
+    core::FadesTool& tool, campaign::FaultModel model,
+    campaign::TargetClass targets, netlist::Unit unit, unsigned experiments,
+    std::uint64_t seed, std::vector<std::uint32_t> pool) {
+  std::vector<campaign::CampaignResult> out;
+  for (const auto& band : campaign::DurationBand::paperBands()) {
+    campaign::CampaignSpec spec;
+    spec.model = model;
+    spec.targets = targets;
+    spec.unit = static_cast<int>(unit);
+    spec.band = band;
+    spec.experiments = experiments;
+    spec.seed = seed;
+    spec.targetPool = pool;
+    out.push_back(tool.runCampaign(spec));
+  }
+  return out;
+}
+
+namespace {
+std::map<const core::FadesTool*, std::vector<std::uint32_t>> gEligible;
+}
+
+std::vector<std::uint32_t> eligibleFlops(core::FadesTool& tool) {
+  auto it = gEligible.find(&tool);
+  if (it != gEligible.end()) return it->second;
+  common::Rng rng(0xE11616);
+  const auto all = tool.targets(campaign::FaultModel::BitFlip,
+                                campaign::TargetClass::SequentialFF,
+                                netlist::Unit::None);
+  const int probes =
+      static_cast<int>(std::max<std::size_t>(4, 1500 / all.size()));
+  std::vector<std::uint32_t> eligible;
+  for (auto ff : all) {
+    for (int p = 0; p < probes; ++p) {
+      common::Rng erng = rng.fork(ff * 37 + p);
+      const auto cycle = erng.below(tool.runCycles());
+      if (tool.runExperiment(campaign::FaultModel::BitFlip,
+                             campaign::TargetClass::SequentialFF, ff, cycle,
+                             1.0, erng) == campaign::Outcome::Failure) {
+        eligible.push_back(ff);
+        break;
+      }
+    }
+  }
+  gEligible[&tool] = eligible;
+  return eligible;
+}
+
+std::vector<std::string> eligibleFlopNames(core::FadesTool& tool) {
+  std::vector<std::string> out;
+  for (auto ff : eligibleFlops(tool)) {
+    out.push_back(tool.targetName(campaign::TargetClass::SequentialFF, ff));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> eligibleSequentialLines(core::FadesTool& tool) {
+  const auto names = eligibleFlopNames(tool);
+  std::vector<std::uint32_t> out;
+  const auto& impl = tool.implementation();
+  for (std::uint32_t i = 0; i < impl.routes.size(); ++i) {
+    const auto& r = impl.routes[i];
+    if (!r.sequentialSource || r.wireNodes.empty()) continue;
+    for (const auto& n : names) {
+      if (r.signalName == n) {
+        out.push_back(i);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fades::bench

@@ -1,0 +1,91 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation (Section 6) on the same system under test: the MC8051 core
+// running Bubblesort, implemented on the Virtex-1000-class generic FPGA.
+// Campaign sizes default to a fraction of the paper's 3000 faults so the
+// whole suite runs in minutes; set FADES_FAULTS=3000 to reproduce at full
+// scale (results converge well before that).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/types.hpp"
+#include "core/fades.hpp"
+#include "fpga/device.hpp"
+#include "mc8051/core.hpp"
+#include "mc8051/workloads.hpp"
+#include "netlist/netlist.hpp"
+#include "synth/implement.hpp"
+#include "vfit/vfit.hpp"
+
+namespace fades::bench {
+
+/// Experiment count for outcome-percentage campaigns (env FADES_FAULTS).
+unsigned classifyCount(unsigned defaultCount = 400);
+/// Experiment count for emulation-time campaigns (they converge fast).
+unsigned timingCount(unsigned defaultCount = 80);
+
+/// The paper's system under test, built once per bench binary.
+class System8051 {
+ public:
+  System8051();
+
+  const mc8051::Workload& workload() const { return workload_; }
+  const netlist::Netlist& netlist() const { return nl_; }
+  const synth::Implementation& implementation() const { return impl_; }
+
+  /// FADES over the implementation (functional campaigns).
+  core::FadesTool& fades();
+  /// FADES on a device whose clock period is calibrated just above the
+  /// fault-free critical path, so delay faults can violate timing.
+  core::FadesTool& fadesForDelay();
+  /// The VFIT baseline on the same HDL model.
+  vfit::VfitTool& vfit();
+
+  core::FadesOptions fadesOptions() const;
+
+  void printHeadline() const;
+
+ private:
+  mc8051::Workload workload_;
+  netlist::Netlist nl_;
+  synth::Implementation impl_;
+  std::unique_ptr<fpga::Device> device_;
+  std::unique_ptr<core::FadesTool> fades_;
+  std::unique_ptr<fpga::Device> delayDevice_;
+  std::unique_ptr<core::FadesTool> fadesDelay_;
+  std::unique_ptr<vfit::VfitTool> vfit_;
+};
+
+/// "measured (paper: x)" cell helper.
+std::string withPaper(double measured, const std::string& paper,
+                      int decimals = 2);
+
+/// Render one outcome row: failure/latent/silent percentages.
+std::string pct3(const campaign::CampaignResult& r);
+
+void printTable(const std::string& title,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Run one campaign per duration band (the paper's <1 / 1-10 / 11-20
+/// sweep) and return the results in band order. `pool` optionally confines
+/// targets (the paper's "eligible registers" campaigns).
+std::vector<campaign::CampaignResult> bandSweep(
+    core::FadesTool& tool, campaign::FaultModel model,
+    campaign::TargetClass targets, netlist::Unit unit, unsigned experiments,
+    std::uint64_t seed = 5, std::vector<std::uint32_t> pool = {});
+
+/// The paper's fault-location scan (Section 6.3): flip-flops whose bit-flip
+/// can cause a failure. Cached per tool instance.
+std::vector<std::uint32_t> eligibleFlops(core::FadesTool& tool);
+/// Names of the eligible flip-flops (to confine VFIT to the same pool).
+std::vector<std::string> eligibleFlopNames(core::FadesTool& tool);
+/// Routed lines driven by eligible flip-flops (delay campaigns into
+/// sequential logic).
+std::vector<std::uint32_t> eligibleSequentialLines(core::FadesTool& tool);
+
+}  // namespace fades::bench

@@ -1,0 +1,62 @@
+// Extension bench (paper Sections 7.2 and 8): multiple bit-flips.
+//
+// Section 7.2 argues that a combinational fault manifests as a MULTIPLE
+// bit-flip in the registers it drives, so single bit-flips cannot replace
+// combinational fault models; Section 8 lists multiple bit-flips as future
+// work. This bench measures how failure probability scales with flip
+// multiplicity, using the GSR-based mechanism (one read-back + one global
+// pulse regardless of multiplicity).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace fades;
+using namespace fades::bench;
+using campaign::FaultModel;
+using campaign::Outcome;
+using campaign::TargetClass;
+using netlist::Unit;
+
+int main() {
+  System8051 sys;
+  sys.printHeadline();
+  auto& fades = sys.fades();
+  const unsigned n = classifyCount(200);
+
+  // Flips drawn from the eligible registers, as in Figure 11.
+  const auto pool = eligibleFlops(fades);
+  std::printf("Eligible FFs: %zu\n\n", pool.size());
+
+  std::vector<std::vector<std::string>> rows;
+  for (const unsigned multiplicity : {1u, 2u, 4u, 8u}) {
+    campaign::CampaignResult result;
+    common::Rng rng(61 + multiplicity);
+    for (unsigned e = 0; e < n; ++e) {
+      common::Rng erng = rng.fork(e);
+      // Draw `multiplicity` distinct targets.
+      std::vector<std::uint32_t> targets;
+      while (targets.size() < multiplicity && targets.size() < pool.size()) {
+        const auto t = pool[erng.below(pool.size())];
+        bool dup = false;
+        for (auto x : targets) dup |= (x == t);
+        if (!dup) targets.push_back(t);
+      }
+      const auto cycle = erng.below(fades.runCycles());
+      double seconds = 0;
+      const Outcome o =
+          fades.runMultipleBitFlipExperiment(targets, cycle, &seconds);
+      result.add(o, seconds);
+    }
+    rows.push_back({std::to_string(multiplicity), pct3(result),
+                    common::fixed(result.modeledSeconds.mean(), 3)});
+  }
+  printTable("Extension - multiple bit-flips via one GSR pass (" +
+                 std::to_string(n) + " faults per multiplicity)",
+             {"flips per fault", "failure / latent / silent %",
+              "mean s/fault (same traffic for any multiplicity)"},
+             rows);
+  std::printf("Failure probability grows with multiplicity while the "
+              "reconfiguration cost stays flat - the GSR mechanism's "
+              "one redeeming quality (Section 4.1).\n");
+  return 0;
+}

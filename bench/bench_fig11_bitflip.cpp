@@ -1,0 +1,113 @@
+// Figure 11 (and the eligibility statistics of Section 6.3): outcomes of
+// bit-flip emulation into flip-flops and into memory blocks.
+//
+// The paper first scanned which registers could cause a failure at all
+// (14 registers / 81 FFs out of 637 were "eligible"), then confined the
+// campaign to those positions: roughly one failure out of two bit-flips in
+// the eligible registers, and ~81% failures for the selected memory
+// positions. This bench reproduces the two-phase design.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bench_common.hpp"
+
+using namespace fades;
+using namespace fades::bench;
+using campaign::FaultModel;
+using campaign::Outcome;
+using campaign::TargetClass;
+using netlist::Unit;
+
+int main() {
+  System8051 sys;
+  sys.printHeadline();
+  auto& fades = sys.fades();
+  common::Rng rng(2006);
+
+  // ---- Phase 1: locate eligible registers (Section 6.3) -----------------
+  const auto allFfs =
+      fades.targets(FaultModel::BitFlip, TargetClass::SequentialFF,
+                    Unit::None);
+  std::vector<std::uint32_t> eligibleFfs;
+  std::set<std::string> eligibleRegs;
+  // Probe budget comparable to the paper's 3000-fault location scan.
+  const int probesPerFf =
+      static_cast<int>(std::max<std::size_t>(4, 1500 / allFfs.size()));
+  for (auto ff : allFfs) {
+    bool causesFailure = false;
+    for (int probe = 0; probe < probesPerFf && !causesFailure; ++probe) {
+      common::Rng erng = rng.fork(ff * 8 + probe);
+      const auto cycle = erng.below(fades.runCycles());
+      causesFailure = fades.runExperiment(FaultModel::BitFlip,
+                                          TargetClass::SequentialFF, ff,
+                                          cycle, 1.0, erng) ==
+                      Outcome::Failure;
+    }
+    if (causesFailure) {
+      eligibleFfs.push_back(ff);
+      std::string reg = fades.targetName(TargetClass::SequentialFF, ff);
+      if (const auto p = reg.find('['); p != std::string::npos) {
+        reg = reg.substr(0, p);
+      }
+      eligibleRegs.insert(reg);
+    }
+  }
+  std::printf(
+      "Eligible registers: %zu registers, %zu FFs out of %zu\n"
+      "  (paper: 14 registers, 81 FFs out of 637)\n\n",
+      eligibleRegs.size(), eligibleFfs.size(), allFfs.size());
+
+  // ---- Phase 1b: locate failure-causing memory positions -----------------
+  // "The selected memory positions" of Figure 11: bits whose corruption can
+  // reach the outputs (most of the 128 bytes are never read back, so flips
+  // there merely linger as latent errors).
+  const auto allMem = fades.targets(
+      FaultModel::BitFlip, TargetClass::MemoryBlockBit, Unit::None);
+  std::vector<std::uint32_t> eligibleMem;
+  for (std::size_t k = 0; k < allMem.size(); ++k) {
+    common::Rng erng = rng.fork(0x10000 + k);
+    const auto cycle = erng.below(fades.runCycles());
+    if (fades.runExperiment(FaultModel::BitFlip, TargetClass::MemoryBlockBit,
+                            allMem[k], cycle, 1.0, erng) ==
+        Outcome::Failure) {
+      eligibleMem.push_back(allMem[k]);
+    }
+  }
+  std::printf("Failure-causing memory bits: %zu of %zu\n\n",
+              eligibleMem.size(), allMem.size());
+
+  // ---- Phase 2: the Figure 11 campaigns over eligible positions ----------
+  const unsigned n = classifyCount();
+  auto campaign = [&](const std::vector<std::uint32_t>& pool,
+                      TargetClass cls) {
+    campaign::CampaignResult result;
+    common::Rng crng(42);
+    for (unsigned e = 0; e < n; ++e) {
+      common::Rng erng = crng.fork(e);
+      const auto target = pool[erng.below(pool.size())];
+      const auto cycle = erng.below(fades.runCycles());
+      double seconds = 0;
+      const auto o = fades.runExperiment(FaultModel::BitFlip, cls, target,
+                                         cycle, 1.0, erng, &seconds);
+      result.add(o, seconds);
+    }
+    return result;
+  };
+
+  const auto ffResult = campaign(eligibleFfs, TargetClass::SequentialFF);
+  const auto memResult = campaign(eligibleMem, TargetClass::MemoryBlockBit);
+
+  printTable(
+      "Figure 11 - bit-flip outcomes, % failure / latent / silent (" +
+          std::to_string(n) + " faults each)",
+      {"target", "failure %", "latent %", "silent %", "paper failure %"},
+      {{"registers (eligible FFs)", common::fixed(ffResult.failurePct(), 1),
+        common::fixed(ffResult.latentPct(), 1),
+        common::fixed(ffResult.silentPct(), 1), "43.86"},
+       {"memory (selected positions)",
+        common::fixed(memResult.failurePct(), 1),
+        common::fixed(memResult.latentPct(), 1),
+        common::fixed(memResult.silentPct(), 1), "80.95"}});
+  return 0;
+}

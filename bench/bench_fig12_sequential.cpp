@@ -1,0 +1,62 @@
+// Figure 12: delay and indetermination faults into sequential logic, by
+// fault duration. Paper trends: failure percentage grows with duration for
+// both; indeterminations approach bit-flip severity (29.53 / 45.9 / 61.4 %
+// failures), delays are notably less likely to fail (5.7 / 18.6 / 31.67 %)
+// because the correct value is merely late.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace fades;
+using namespace fades::bench;
+using campaign::FaultModel;
+using campaign::TargetClass;
+using netlist::Unit;
+
+int main() {
+  System8051 sys;
+  sys.printHeadline();
+  const unsigned n = classifyCount(300);
+  const unsigned nDelay = std::min(n, 150u);
+
+  // Like the paper, faults are confined to the registers that the location
+  // scan found capable of causing failures (Section 6.3).
+  const auto pool = eligibleFlops(sys.fades());
+  std::printf("Eligible FFs: %zu\n\n", pool.size());
+  const auto indet =
+      bandSweep(sys.fades(), FaultModel::Indetermination,
+                TargetClass::SequentialFF, Unit::None, n, 5, pool);
+  const auto delayPool = eligibleSequentialLines(sys.fades());
+  const auto delay =
+      bandSweep(sys.fadesForDelay(), FaultModel::Delay,
+                TargetClass::SequentialLine, Unit::None, nDelay, 5,
+                delayPool);
+
+  const char* bands[3] = {"<1", "1-10", "11-20"};
+  const char* paperIndet[3] = {"29.53", "45.90", "61.40"};
+  const char* paperDelay[3] = {"5.70", "18.60", "31.67"};
+
+  std::vector<std::vector<std::string>> rows;
+  for (int b = 0; b < 3; ++b) {
+    rows.push_back({"indetermination", bands[b], pct3(indet[b]),
+                    paperIndet[b]});
+  }
+  for (int b = 0; b < 3; ++b) {
+    rows.push_back({"delay", bands[b], pct3(delay[b]), paperDelay[b]});
+  }
+  printTable("Figure 12 - faults into sequential logic (" +
+                 std::to_string(n) + " / " + std::to_string(nDelay) +
+                 " faults per band)",
+             {"fault model", "duration (cycles)",
+              "failure / latent / silent %", "paper failure %"},
+             rows);
+
+  // Trend check for the reader: failures must grow with duration.
+  std::printf("Trend: indetermination failures %s, delay failures %s "
+              "(paper: both increase with duration)\n",
+              indet[0].failurePct() <= indet[2].failurePct() ? "increase"
+                                                             : "DECREASE",
+              delay[0].failurePct() <= delay[2].failurePct() ? "increase"
+                                                             : "DECREASE");
+  return 0;
+}

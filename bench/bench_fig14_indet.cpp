@@ -1,0 +1,49 @@
+// Figure 14: indetermination faults into combinational logic by unit and
+// duration. Paper trend: failure percentages rise slowly with duration
+// (ALU: 0.37 / 1.37 / 3.57 %), with heavy logic masking because faults can
+// strike any of thousands of LUTs (Section 6.3, observation ii).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace fades;
+using namespace fades::bench;
+using campaign::FaultModel;
+using campaign::TargetClass;
+using netlist::Unit;
+
+int main() {
+  System8051 sys;
+  sys.printHeadline();
+  const unsigned n = classifyCount(300);
+
+  const char* bands[3] = {"<1", "1-10", "11-20"};
+  struct UnitRow {
+    const char* name;
+    Unit unit;
+    const char* paper;
+  };
+  const UnitRow units[] = {
+      {"ALU", Unit::Alu, "0.37 / 1.37 / 3.57"},
+      {"MEM", Unit::MemCtrl, "(trend only)"},
+      {"FSM", Unit::Fsm, "(most sensitive)"},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& u : units) {
+    const auto sweep =
+        bandSweep(sys.fades(), FaultModel::Indetermination,
+                  TargetClass::CombinationalLut, u.unit, n);
+    for (int b = 0; b < 3; ++b) {
+      rows.push_back({u.name, bands[b], pct3(sweep[b]),
+                      b == 1 ? u.paper : ""});
+    }
+  }
+  printTable(
+      "Figure 14 - indetermination emulation into combinational logic (" +
+          std::to_string(n) + " faults per cell)",
+      {"unit", "duration (cycles)", "failure / latent / silent %",
+       "paper failure % (<1/1-10/11-20)"},
+      rows);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 15: delay faults into combinational logic by unit and duration.
+// Paper trend: delays are the least damaging model (ALU failures
+// 0 / 0.57 / 2.1 %), growing slowly with duration; the FSM remains the
+// most sensitive unit.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace fades;
+using namespace fades::bench;
+using campaign::FaultModel;
+using campaign::TargetClass;
+using netlist::Unit;
+
+int main() {
+  System8051 sys;
+  sys.printHeadline();
+  const unsigned n = std::min(classifyCount(300), 150u);
+
+  const char* bands[3] = {"<1", "1-10", "11-20"};
+  struct UnitRow {
+    const char* name;
+    Unit unit;
+    const char* paper;
+  };
+  const UnitRow units[] = {
+      {"ALU", Unit::Alu, "0 / 0.57 / 2.10"},
+      {"MEM", Unit::MemCtrl, "(trend only)"},
+      {"FSM", Unit::Fsm, "(most sensitive)"},
+  };
+
+  auto& tool = sys.fadesForDelay();
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& u : units) {
+    const auto sweep = bandSweep(tool, FaultModel::Delay,
+                                 TargetClass::CombinationalLine, u.unit, n);
+    for (int b = 0; b < 3; ++b) {
+      rows.push_back({u.name, bands[b], pct3(sweep[b]),
+                      b == 1 ? u.paper : ""});
+    }
+  }
+  printTable("Figure 15 - delay emulation into combinational logic (" +
+                 std::to_string(n) + " faults per cell)",
+             {"unit", "duration (cycles)", "failure / latent / silent %",
+              "paper failure % (<1/1-10/11-20)"},
+             rows);
+  return 0;
+}

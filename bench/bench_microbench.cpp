@@ -1,0 +1,111 @@
+// Google-benchmark microbenchmarks of the substrate itself: how fast the
+// host machine emulates the configured FPGA, simulates the netlist, and
+// performs reconfiguration operations. These are the wall-clock numbers a
+// user needs to size real campaigns (the modeled 2006 times come from the
+// board-link cost model instead).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bits/config_port.hpp"
+#include "fpga/device.hpp"
+#include "mc8051/core.hpp"
+#include "mc8051/iss.hpp"
+#include "mc8051/workloads.hpp"
+#include "sim/simulator.hpp"
+#include "synth/implement.hpp"
+
+namespace {
+
+using namespace fades;
+
+struct Shared {
+  mc8051::Workload workload = mc8051::bubblesort(6);
+  netlist::Netlist nl = mc8051::buildCore(workload.bytes);
+  synth::Implementation impl =
+      synth::implement(nl, fpga::DeviceSpec::virtex1000Like());
+
+  static const Shared& get() {
+    static Shared s;
+    return s;
+  }
+};
+
+void BM_IssCycle(benchmark::State& state) {
+  mc8051::Iss iss(Shared::get().workload.bytes);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    cycles += iss.stepInstruction();
+    if (iss.cycleCount() > Shared::get().workload.cycles) iss.reset();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_IssCycle);
+
+void BM_NetlistSimulatorCycle(benchmark::State& state) {
+  sim::Simulator simulator(Shared::get().nl);
+  for (auto _ : state) simulator.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetlistSimulatorCycle);
+
+void BM_FpgaEmulationCycle(benchmark::State& state) {
+  const auto& s = Shared::get();
+  fpga::Device dev(s.impl.spec);
+  dev.writeFullBitstream(s.impl.bitstream);
+  for (auto _ : state) dev.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FpgaEmulationCycle);
+
+void BM_LutTableRewrite(benchmark::State& state) {
+  const auto& s = Shared::get();
+  fpga::Device dev(s.impl.spec);
+  dev.writeFullBitstream(s.impl.bitstream);
+  bits::ConfigPort port(dev);
+  const auto cb = s.impl.luts[0].cb;
+  const auto original = s.impl.luts[0].table;
+  for (auto _ : state) {
+    port.setLutTable(cb, static_cast<std::uint16_t>(~original));
+    dev.settle();
+    port.setLutTable(cb, original);
+    dev.settle();
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_LutTableRewrite);
+
+void BM_CaptureFrameReadback(benchmark::State& state) {
+  const auto& s = Shared::get();
+  fpga::Device dev(s.impl.spec);
+  dev.writeFullBitstream(s.impl.bitstream);
+  bits::ConfigPort port(dev);
+  unsigned col = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(port.readCaptureFrame(col));
+    col = (col + 1) % s.impl.spec.cols;
+  }
+}
+BENCHMARK(BM_CaptureFrameReadback);
+
+void BM_DeviceStateRestore(benchmark::State& state) {
+  const auto& s = Shared::get();
+  fpga::Device dev(s.impl.spec);
+  dev.writeFullBitstream(s.impl.bitstream);
+  const auto snapshot = dev.captureState();
+  for (auto _ : state) dev.restoreState(snapshot);
+}
+BENCHMARK(BM_DeviceStateRestore);
+
+void BM_Synthesize8051(benchmark::State& state) {
+  const auto& s = Shared::get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synth::implement(s.nl, fpga::DeviceSpec::virtex1000Like()));
+  }
+}
+BENCHMARK(BM_Synthesize8051)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Fault-injection campaign on the MC8051 microcontroller, configurable from
+// the command line - the closest analogue of the paper's FADES experiments
+// set-up tool (Figure 9).
+//
+// Usage:
+//   campaign_8051 [model] [targets] [unit] [faults] [band]
+//     model   bitflip | pulse | delay | indet        (default bitflip)
+//     targets ff | memory | lut | seqline | combline  (default ff)
+//     unit    any | registers | ram | alu | mem | fsm (default any)
+//     faults  experiment count                        (default 200)
+//     band    sub | short | long                      (default short)
+//
+// Example: ./build/examples/campaign_8051 pulse lut alu 300 long
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "campaign/types.hpp"
+#include "core/fades.hpp"
+#include "fpga/device.hpp"
+#include "mc8051/core.hpp"
+#include "mc8051/workloads.hpp"
+#include "synth/implement.hpp"
+
+using namespace fades;
+
+int main(int argc, char** argv) {
+  auto arg = [&](int i, const char* def) {
+    return std::string(argc > i ? argv[i] : def);
+  };
+  const std::string modelArg = arg(1, "bitflip");
+  const std::string targetArg = arg(2, "ff");
+  const std::string unitArg = arg(3, "any");
+  const unsigned faults =
+      static_cast<unsigned>(std::strtoul(arg(4, "200").c_str(), nullptr, 10));
+  const std::string bandArg = arg(5, "short");
+
+  campaign::CampaignSpec spec;
+  spec.experiments = faults;
+  spec.seed = 2006;
+  spec.model = modelArg == "pulse"   ? campaign::FaultModel::Pulse
+               : modelArg == "delay" ? campaign::FaultModel::Delay
+               : modelArg == "indet" ? campaign::FaultModel::Indetermination
+                                     : campaign::FaultModel::BitFlip;
+  spec.targets = targetArg == "memory"     ? campaign::TargetClass::MemoryBlockBit
+                 : targetArg == "lut"      ? campaign::TargetClass::CombinationalLut
+                 : targetArg == "seqline"  ? campaign::TargetClass::SequentialLine
+                 : targetArg == "combline" ? campaign::TargetClass::CombinationalLine
+                                           : campaign::TargetClass::SequentialFF;
+  spec.unit = static_cast<int>(unitArg == "registers" ? netlist::Unit::Registers
+                               : unitArg == "ram"      ? netlist::Unit::Ram
+                               : unitArg == "alu"      ? netlist::Unit::Alu
+                               : unitArg == "mem"      ? netlist::Unit::MemCtrl
+                               : unitArg == "fsm"      ? netlist::Unit::Fsm
+                                                       : netlist::Unit::None);
+  spec.band = bandArg == "sub"    ? campaign::DurationBand::subCycle()
+              : bandArg == "long" ? campaign::DurationBand::longBand()
+                                  : campaign::DurationBand::shortBand();
+
+  std::printf("Building the MC8051 + Bubblesort system...\n");
+  const auto workload = mc8051::bubblesort(6);
+  const auto netlist = mc8051::buildCore(workload.bytes);
+  const auto impl =
+      synth::implement(netlist, fpga::DeviceSpec::virtex1000Like());
+  fpga::Device device(impl.spec);
+  core::FadesOptions options;
+  options.keepRecords = faults <= 40;  // detail only for small campaigns
+  core::FadesTool fades(device, impl, workload.cycles, options);
+
+  std::printf("Running %u %s faults on %s",
+              spec.experiments, campaign::toString(spec.model),
+              campaign::toString(spec.targets));
+  std::printf(" (unit %s, duration %s cycles)...\n", unitArg.c_str(),
+              spec.band.label.c_str());
+  const auto result = fades.runCampaign(spec);
+
+  std::printf("\nResults of %zu experiments:\n", result.total());
+  std::printf("  failures: %5zu (%.2f %%)\n", result.failures,
+              result.failurePct());
+  std::printf("  latent:   %5zu (%.2f %%)\n", result.latents,
+              result.latentPct());
+  std::printf("  silent:   %5zu (%.2f %%)\n", result.silents,
+              result.silentPct());
+  std::printf("  modeled emulation time: %.3f s/fault (total %.0f s for the "
+              "campaign)\n",
+              result.modeledSeconds.mean(), result.modeledSeconds.sum());
+  for (const auto& r : result.records) {
+    std::printf("    cycle %5llu  %-10s  dur %5.2f  %s\n",
+                static_cast<unsigned long long>(r.injectCycle),
+                r.targetName.c_str(), r.durationCycles,
+                campaign::toString(r.outcome));
+  }
+  return 0;
+}

@@ -1,0 +1,164 @@
+// JBits-style run-time reconfiguration interface.
+//
+// The paper's FADES tool manipulates the FPGA through the JBits package and
+// the board's XHWIF interface: read a configuration frame back, modify bits,
+// write the frame again, or download a complete configuration file. The
+// emulation-time results of Section 6.2 are dominated by how much data moves
+// across this interface, so ConfigPort meters every byte and every operation;
+// the cost model in src/core converts the meter into modeled seconds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fpga/device.hpp"
+
+namespace fades::bits {
+
+using fpga::CbCoord;
+using fpga::CbField;
+using fpga::Device;
+using fpga::FrameAddr;
+
+/// Accumulated transfer statistics across the host <-> board link.
+struct TransferMeter {
+  std::uint64_t bytesToDevice = 0;
+  std::uint64_t bytesFromDevice = 0;
+  std::uint32_t writeOps = 0;
+  std::uint32_t readOps = 0;
+  std::uint32_t captureOps = 0;  // state read-back (capture plane) operations
+  std::uint32_t commandOps = 0;  // GSR pulses and similar control packets
+  std::uint32_t sessions = 0;    // reconfiguration sessions (driver round-trips)
+
+  void reset() { *this = TransferMeter{}; }
+  TransferMeter& operator+=(const TransferMeter& o) {
+    bytesToDevice += o.bytesToDevice;
+    bytesFromDevice += o.bytesFromDevice;
+    writeOps += o.writeOps;
+    readOps += o.readOps;
+    captureOps += o.captureOps;
+    commandOps += o.commandOps;
+    sessions += o.sessions;
+    return *this;
+  }
+};
+
+/// Transfer-cost model for the host <-> prototyping-board link (the paper's
+/// RC1000-PP + XHWIF). Captures per-operation driver latency, sustained
+/// bandwidth, the fixed cost of opening a reconfiguration session, and the
+/// extra latency of read-back capture (which on Virtex-class parts flushes
+/// the capture plane before data can move).
+struct BoardLink {
+  // Calibrated against the paper's Table 2 decomposition (see
+  // EXPERIMENTS.md): the per-fault means they report separate cleanly into
+  // a shared floor (reset + trace + state read-back + host bookkeeping),
+  // per-frame operation latency, capture-trigger latency, and session
+  // (driver round-trip) cost, at a SelectMAP-class sustained bandwidth.
+  double bytesPerSecond = 3.5e6;     // sustained configuration bandwidth
+  double perOpSeconds = 0.010;       // per read/write/command round-trip
+  double perSessionSeconds = 0.060;  // JBits/driver session setup+teardown
+  double perCaptureSeconds = 0.050;  // state read-back trigger latency
+
+  double seconds(const TransferMeter& m) const {
+    return static_cast<double>(m.bytesToDevice + m.bytesFromDevice) /
+               bytesPerSecond +
+           perOpSeconds * (m.writeOps + m.readOps + m.commandOps) +
+           perCaptureSeconds * m.captureOps +
+           perSessionSeconds * m.sessions;
+  }
+};
+
+class ConfigPort {
+ public:
+  explicit ConfigPort(Device& device) : dev_(device) {}
+
+  Device& device() { return dev_; }
+  const TransferMeter& meter() const { return meter_; }
+  void resetMeter() { meter_.reset(); }
+
+  /// Mark the start of a reconfiguration session (one injector action such
+  /// as "inject fault" or "remove fault" is one session).
+  void beginSession() { ++meter_.sessions; }
+
+  // --- frame-level transfers --------------------------------------------
+  std::vector<std::uint8_t> readLogicFrame(FrameAddr f);
+  void writeLogicFrame(FrameAddr f, std::span<const std::uint8_t> bytes);
+  std::vector<std::uint8_t> readBramFrame(unsigned block, unsigned minor);
+  void writeBramFrame(unsigned block, unsigned minor,
+                      std::span<const std::uint8_t> bytes);
+  std::vector<std::uint8_t> readCaptureFrame(unsigned col);
+
+  void writeFullBitstream(const fpga::Bitstream& bs);
+  fpga::Bitstream readbackFull();
+
+  void pulseGsr();
+
+  // --- JBits-style convenience helpers ------------------------------------
+  // Each helper performs real frame traffic (read-modify-write), so the
+  // meter reflects what the operation would actually cost on hardware.
+
+  std::uint16_t getLutTable(CbCoord cb);
+  void setLutTable(CbCoord cb, std::uint16_t table);
+  bool getCbFieldBit(CbCoord cb, CbField field);
+  void setCbFieldBit(CbCoord cb, CbField field, bool value);
+  /// Live state of one flip-flop via the capture plane.
+  bool readFfState(CbCoord cb);
+  /// Read or flip one stored memory-block bit via plane-B frames.
+  bool getBramBit(unsigned block, unsigned bit);
+  void setBramBit(unsigned block, unsigned bit, bool value);
+  /// Set or clear an arbitrary plane-A configuration bit (used by routing
+  /// faults to toggle individual pass transistors).
+  void setLogicBit(std::size_t addr, bool value);
+  bool getLogicBit(std::size_t addr);
+  /// Batched plane-A bit update: one read-modify-write PER TOUCHED FRAME,
+  /// the way a real tool coalesces JBits updates. Returns frames written.
+  unsigned setLogicBits(
+      std::span<const std::pair<std::size_t, bool>> updates);
+  /// Update several CB fields of one block with a single read-modify-write.
+  void updateCbFields(
+      CbCoord cb,
+      std::span<const std::pair<CbField, bool>> fields);
+
+  // --- mirror-based (blind) writes -----------------------------------------
+  // The tool generated the bitstream, so it holds a host-side mirror of the
+  // configuration; writes that need no fresh device data (e.g. the
+  // randomizer-driven indetermination values of Section 4.4) can skip the
+  // read-back half of the read-modify-write.
+  void setLutTableBlind(CbCoord cb, std::uint16_t table);
+  void updateCbFieldsBlind(
+      CbCoord cb, std::span<const std::pair<CbField, bool>> fields);
+  void setLogicBitsBlind(
+      std::span<const std::pair<std::size_t, bool>> updates);
+
+  // --- pure accounting -----------------------------------------------------
+  // Charge the meter for traffic whose effect is handled elsewhere (e.g. the
+  // full-bitstream fallback download of the delay injector, or the modeled
+  // re-initialization between experiments when the host replays state).
+  void chargeWrite(std::uint64_t bytes) {
+    ++meter_.writeOps;
+    meter_.bytesToDevice += bytes;
+  }
+  void chargeRead(std::uint64_t bytes) {
+    ++meter_.readOps;
+    meter_.bytesFromDevice += bytes;
+  }
+  void chargeCapture(std::uint64_t bytes) {
+    ++meter_.captureOps;
+    meter_.bytesFromDevice += bytes;
+  }
+  void chargeCommand() {
+    ++meter_.commandOps;
+    meter_.bytesToDevice += 8;
+  }
+  void chargeFullImage() { chargeWrite(dev_.layout().totalConfigBytes()); }
+
+ private:
+  /// Read-modify-write one plane-A bit through its containing frame.
+  void rmwLogicBit(std::size_t addr, bool value);
+
+  Device& dev_;
+  TransferMeter meter_;
+};
+
+}  // namespace fades::bits

@@ -1,0 +1,89 @@
+#include "campaign/report.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace fades::campaign {
+
+using common::ErrorKind;
+using common::fixed;
+using common::require;
+
+namespace {
+
+std::string csvQuote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string toMarkdown(const std::string& title,
+                       const std::vector<ReportEntry>& entries) {
+  std::string out = "## " + title + "\n\n";
+  out +=
+      "| campaign | faults | failure | latent | silent | failure % | "
+      "latent % | silent % | mean s/fault |\n";
+  out += "|---|---|---|---|---|---|---|---|---|\n";
+  for (const auto& e : entries) {
+    const auto& r = e.result;
+    out += "| " + e.label + " | " + std::to_string(r.total()) + " | " +
+           std::to_string(r.failures) + " | " + std::to_string(r.latents) +
+           " | " + std::to_string(r.silents) + " | " +
+           fixed(r.failurePct(), 2) + " | " + fixed(r.latentPct(), 2) +
+           " | " + fixed(r.silentPct(), 2) + " | " +
+           fixed(r.modeledSeconds.mean(), 3) + " |\n";
+  }
+  return out;
+}
+
+std::string toCsv(const std::vector<ReportEntry>& entries) {
+  std::string out =
+      "campaign,model,targets,band,faults,failures,latents,silents,"
+      "failure_pct,latent_pct,silent_pct,mean_seconds\n";
+  for (const auto& e : entries) {
+    const auto& r = e.result;
+    out += csvQuote(e.label) + "," + toString(r.spec.model) + "," +
+           csvQuote(toString(r.spec.targets)) + "," +
+           csvQuote(r.spec.band.label) + "," + std::to_string(r.total()) +
+           "," + std::to_string(r.failures) + "," +
+           std::to_string(r.latents) + "," + std::to_string(r.silents) +
+           "," + fixed(r.failurePct(), 4) + "," + fixed(r.latentPct(), 4) +
+           "," + fixed(r.silentPct(), 4) + "," +
+           fixed(r.modeledSeconds.mean(), 6) + "\n";
+  }
+  return out;
+}
+
+std::string recordsToCsv(const CampaignResult& result) {
+  require(!result.records.empty(), ErrorKind::InvalidArgument,
+          "campaign was run without keepRecords");
+  std::string out = "target,inject_cycle,duration_cycles,outcome,seconds\n";
+  for (const auto& rec : result.records) {
+    out += csvQuote(rec.targetName) + "," +
+           std::to_string(rec.injectCycle) + "," +
+           fixed(rec.durationCycles, 3) + "," + toString(rec.outcome) + "," +
+           fixed(rec.modeledSeconds, 6) + "\n";
+  }
+  return out;
+}
+
+void writeTextFile(const std::string& path, const std::string& text) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  require(f != nullptr, ErrorKind::InvalidArgument,
+          "cannot open '" + path + "' for writing");
+  require(std::fwrite(text.data(), 1, text.size(), f.get()) == text.size(),
+          ErrorKind::InvalidArgument, "short write to '" + path + "'");
+}
+
+}  // namespace fades::campaign

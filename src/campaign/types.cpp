@@ -1,0 +1,47 @@
+#include "campaign/types.hpp"
+
+namespace fades::campaign {
+
+const char* toString(FaultModel m) {
+  switch (m) {
+    case FaultModel::BitFlip: return "bit-flip";
+    case FaultModel::Pulse: return "pulse";
+    case FaultModel::Delay: return "delay";
+    case FaultModel::Indetermination: return "indetermination";
+  }
+  return "?";
+}
+
+const char* toString(TargetClass t) {
+  switch (t) {
+    case TargetClass::SequentialFF: return "FFs";
+    case TargetClass::MemoryBlockBit: return "memory blocks";
+    case TargetClass::CombinationalLut: return "LUTs";
+    case TargetClass::CbInputLine: return "CB inputs";
+    case TargetClass::SequentialLine: return "sequential lines";
+    case TargetClass::CombinationalLine: return "combinational lines";
+  }
+  return "?";
+}
+
+const char* toString(Outcome o) {
+  switch (o) {
+    case Outcome::Silent: return "silent";
+    case Outcome::Latent: return "latent";
+    case Outcome::Failure: return "failure";
+  }
+  return "?";
+}
+
+Outcome classify(const Observation& golden, const Observation& faulty) {
+  // Failure: the traces present different outputs (paper Section 5).
+  if (golden.outputs != faulty.outputs) return Outcome::Failure;
+  // Latent: same outputs but a different final state.
+  if (golden.finalFlops != faulty.finalFlops ||
+      golden.finalMemory != faulty.finalMemory) {
+    return Outcome::Latent;
+  }
+  return Outcome::Silent;
+}
+
+}  // namespace fades::campaign

@@ -1,0 +1,112 @@
+// Shared fault-injection campaign vocabulary.
+//
+// Both tools - FADES (run-time reconfiguration on the FPGA) and VFIT
+// (simulator commands on the event-driven simulator) - run the same
+// experiment design from the paper's Section 6.1: single transient faults,
+// injection instants uniformly distributed over the workload, durations
+// drawn from three bands (<1, 1-10, 11-20 clock cycles), outcomes classified
+// against a golden run as Failure / Latent / Silent (Section 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace fades::campaign {
+
+enum class FaultModel : std::uint8_t { BitFlip, Pulse, Delay, Indetermination };
+const char* toString(FaultModel m);
+
+/// Which resource class a campaign draws targets from; mirrors the
+/// "FPGA target" column of the paper's Table 1.
+enum class TargetClass : std::uint8_t {
+  SequentialFF,       // flip-flops (bit-flip / indetermination)
+  MemoryBlockBit,     // embedded memory contents (bit-flip)
+  CombinationalLut,   // function generators (pulse / indetermination)
+  CbInputLine,        // CB input through its inverter mux (pulse)
+  SequentialLine,     // routed line driven by a flip-flop (delay)
+  CombinationalLine,  // routed line driven by a LUT (delay)
+};
+const char* toString(TargetClass t);
+
+/// Fault effect classification (paper Section 5, results analysis module).
+enum class Outcome : std::uint8_t { Silent, Latent, Failure };
+const char* toString(Outcome o);
+
+/// Fault duration band, in clock cycles. The sub-cycle band models faults
+/// shorter than one clock period: they are only captured when they overlap
+/// a sampling edge, which happens with probability equal to their fraction
+/// of the cycle.
+struct DurationBand {
+  double minCycles = 1.0;
+  double maxCycles = 1.0;
+  std::string label;
+
+  static DurationBand subCycle() { return {0.0, 1.0, "<1"}; }
+  static DurationBand shortBand() { return {1.0, 10.0, "1-10"}; }
+  static DurationBand longBand() { return {11.0, 20.0, "11-20"}; }
+  static std::vector<DurationBand> paperBands() {
+    return {subCycle(), shortBand(), longBand()};
+  }
+};
+
+/// Output trace plus final-state signature of one run. Traces hold one word
+/// per cycle (the observed output ports packed together); the signature
+/// holds every sequential element and memory word.
+struct Observation {
+  std::vector<std::uint64_t> outputs;
+  std::vector<std::uint8_t> finalFlops;
+  std::vector<std::uint64_t> finalMemory;
+};
+
+/// Compare a faulty run against the golden run.
+Outcome classify(const Observation& golden, const Observation& faulty);
+
+struct CampaignSpec {
+  FaultModel model = FaultModel::BitFlip;
+  TargetClass targets = TargetClass::SequentialFF;
+  /// Functional unit to confine faults to; Unit::None = anywhere. Typed as
+  /// the netlist Unit in the runners; kept as int here to avoid a cycle.
+  int unit = 0;
+  DurationBand band = DurationBand::shortBand();
+  unsigned experiments = 3000;
+  std::uint64_t seed = 1;
+  /// When non-empty, faults are drawn from this explicit pool of target
+  /// handles instead of the full enumeration - the paper's campaigns over
+  /// "eligible" registers / "selected" memory positions work this way.
+  std::vector<std::uint32_t> targetPool;
+};
+
+struct ExperimentRecord {
+  std::string targetName;
+  std::uint64_t injectCycle = 0;
+  double durationCycles = 0;
+  Outcome outcome = Outcome::Silent;
+  double modeledSeconds = 0;
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::size_t failures = 0;
+  std::size_t latents = 0;
+  std::size_t silents = 0;
+  common::RunningStats modeledSeconds;  // per experiment
+  std::vector<ExperimentRecord> records;  // filled when spec asks for detail
+
+  std::size_t total() const { return failures + latents + silents; }
+  double failurePct() const { return common::percent(failures, total()); }
+  double latentPct() const { return common::percent(latents, total()); }
+  double silentPct() const { return common::percent(silents, total()); }
+  void add(Outcome o, double seconds) {
+    switch (o) {
+      case Outcome::Failure: ++failures; break;
+      case Outcome::Latent: ++latents; break;
+      case Outcome::Silent: ++silents; break;
+    }
+    modeledSeconds.add(seconds);
+  }
+};
+
+}  // namespace fades::campaign

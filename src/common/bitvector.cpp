@@ -1,0 +1,92 @@
+#include "common/bitvector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace fades::common {
+
+BitVector::BitVector(std::size_t bitCount, bool fill)
+    : bitCount_(bitCount), words_((bitCount + 63) / 64, fill ? ~0ULL : 0ULL) {
+  if (fill && (bitCount & 63) != 0) {
+    // Keep unused high bits zero so operator== and popcount stay exact.
+    words_.back() &= (1ULL << (bitCount & 63)) - 1;
+  }
+}
+
+void BitVector::clearAll() { std::fill(words_.begin(), words_.end(), 0ULL); }
+
+void BitVector::setAll() {
+  std::fill(words_.begin(), words_.end(), ~0ULL);
+  if ((bitCount_ & 63) != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << (bitCount_ & 63)) - 1;
+  }
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+void BitVector::copyBits(const BitVector& src, std::size_t srcOff,
+                         BitVector& dst, std::size_t dstOff, std::size_t n) {
+  assert(srcOff + n <= src.size() && dstOff + n <= dst.size());
+  for (std::size_t k = 0; k < n; ++k) dst.set(dstOff + k, src.get(srcOff + k));
+}
+
+std::vector<std::uint8_t> BitVector::exportBytes(std::size_t bitOff,
+                                                 std::size_t n) const {
+  assert(bitOff + n <= bitCount_);
+  std::vector<std::uint8_t> out((n + 7) / 8, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (get(bitOff + k)) out[k >> 3] |= static_cast<std::uint8_t>(1u << (k & 7));
+  }
+  return out;
+}
+
+void BitVector::importBytes(std::size_t bitOff, std::size_t n,
+                            std::span<const std::uint8_t> bytes) {
+  assert(bitOff + n <= bitCount_);
+  assert(bytes.size() >= (n + 7) / 8);
+  for (std::size_t k = 0; k < n; ++k) {
+    set(bitOff + k, (bytes[k >> 3] >> (k & 7)) & 1u);
+  }
+}
+
+std::uint64_t BitVector::getWord(std::size_t bitOff, unsigned n) const {
+  assert(n <= 64 && bitOff + n <= bitCount_);
+  std::uint64_t v = 0;
+  for (unsigned k = 0; k < n; ++k) {
+    v |= static_cast<std::uint64_t>(get(bitOff + k)) << k;
+  }
+  return v;
+}
+
+void BitVector::setWord(std::size_t bitOff, unsigned n, std::uint64_t value) {
+  assert(n <= 64 && bitOff + n <= bitCount_);
+  for (unsigned k = 0; k < n; ++k) set(bitOff + k, (value >> k) & 1ULL);
+}
+
+std::vector<std::size_t> BitVector::diff(const BitVector& other) const {
+  assert(bitCount_ == other.bitCount_);
+  std::vector<std::size_t> out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t x = words_[w] ^ other.words_[w];
+    while (x != 0) {
+      const int b = std::countr_zero(x);
+      out.push_back(w * 64 + static_cast<std::size_t>(b));
+      x &= x - 1;
+    }
+  }
+  return out;
+}
+
+std::string BitVector::toString(std::size_t bitOff, std::size_t n) const {
+  std::string s;
+  s.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) s.push_back(get(bitOff + k) ? '1' : '0');
+  return s;
+}
+
+}  // namespace fades::common

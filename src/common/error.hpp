@@ -1,0 +1,63 @@
+// Error handling conventions for the project.
+//
+// Following the C++ Core Guidelines (E.2, E.14) we throw exceptions for
+// errors that the immediate caller cannot be expected to handle (malformed
+// netlists, unroutable designs, invalid configuration addresses) and use
+// assertions for internal invariants. FadesError carries a category so test
+// code can assert on the *kind* of failure, not a message string.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fades::common {
+
+enum class ErrorKind {
+  InvalidArgument,   // caller passed something structurally wrong
+  NetlistError,      // malformed IR (undriven net, combinational cycle, ...)
+  SynthesisError,    // mapping/placement failure
+  RoutingError,      // unroutable net / congestion not resolved
+  ConfigError,       // bad frame address, size mismatch, short circuit
+  CapacityError,     // design does not fit the device
+  WorkloadError,     // assembler / program errors
+  InjectionError,    // fault target not applicable / not found
+};
+
+const char* toString(ErrorKind kind);
+
+class FadesError : public std::runtime_error {
+ public:
+  FadesError(ErrorKind kind, const std::string& message)
+      : std::runtime_error(std::string(toString(kind)) + ": " + message),
+        kind_(kind) {}
+
+  ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+[[noreturn]] inline void raise(ErrorKind kind, const std::string& message) {
+  throw FadesError(kind, message);
+}
+
+inline void require(bool condition, ErrorKind kind,
+                    const std::string& message) {
+  if (!condition) raise(kind, message);
+}
+
+inline const char* toString(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::InvalidArgument: return "invalid argument";
+    case ErrorKind::NetlistError: return "netlist error";
+    case ErrorKind::SynthesisError: return "synthesis error";
+    case ErrorKind::RoutingError: return "routing error";
+    case ErrorKind::ConfigError: return "configuration error";
+    case ErrorKind::CapacityError: return "capacity error";
+    case ErrorKind::WorkloadError: return "workload error";
+    case ErrorKind::InjectionError: return "injection error";
+  }
+  return "unknown error";
+}
+
+}  // namespace fades::common

@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation for fault-injection campaigns.
+//
+// All randomness in the project flows through Xoshiro256StarStar so that a
+// campaign seed fully determines target selection, injection instants and
+// indetermination values. Reproducibility is a correctness requirement: the
+// golden-run comparison methodology (paper Section 5, results analysis module)
+// only makes sense when experiments can be replayed bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fades::common {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full generator
+/// state. Reference: Vigna, "Further scramblings of Marsaglia's xorshift
+/// generators" (public-domain algorithm).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit generator (public domain).
+/// Satisfies the std uniform_random_bit_generator concept so it can be used
+/// with <random> distributions when needed, though the helpers below cover
+/// everything the campaigns require.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256StarStar(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 is a precondition violation.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // 128-bit multiply; rejection loop runs < 2 iterations in expectation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  constexpr std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  constexpr bool coin() { return ((*this)() >> 63) != 0; }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Derive an independent child stream (e.g. one per experiment) so that
+  /// experiments can be replayed individually without running predecessors.
+  constexpr Xoshiro256StarStar fork(std::uint64_t stream) {
+    return Xoshiro256StarStar((*this)() ^ (stream * 0x9e3779b97f4a7c15ULL));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+using Rng = Xoshiro256StarStar;
+
+}  // namespace fades::common

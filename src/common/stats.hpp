@@ -1,0 +1,43 @@
+// Small statistics helpers used by campaign reports and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fades::common {
+
+/// Online mean/min/max/stddev accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double variance() const;  // sample variance
+  double stddev() const;
+  double sum() const { return n_ == 0 ? 0.0 : mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentage with guard against empty denominators.
+double percent(std::size_t part, std::size_t whole);
+
+/// Fixed-point formatting helper ("12.34") used by bench tables; std::format
+/// is avoided to keep the toolchain requirements minimal.
+std::string fixed(double value, int decimals);
+
+/// Render a simple aligned ASCII table; row cells are pre-formatted strings.
+std::string renderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace fades::common

@@ -1,0 +1,905 @@
+#include "core/fades.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "core/lut_circuit.hpp"
+#include "synth/fabric.hpp"
+
+namespace fades::core {
+
+using common::ErrorKind;
+using common::raise;
+using common::require;
+using common::Rng;
+using fpga::CbCoord;
+using fpga::CbField;
+using fpga::NodeKind;
+
+FadesTool::FadesTool(fpga::Device& device, const synth::Implementation& impl,
+                     std::uint64_t runCycles, FadesOptions options)
+    : dev_(device),
+      impl_(impl),
+      runCycles_(runCycles),
+      opt_(std::move(options)),
+      port_(device),
+      system_(device, impl) {
+  // One-time download of the configuration file (Figure 1).
+  port_.writeFullBitstream(impl_.bitstream);
+  setupSeconds_ = opt_.link.seconds(port_.meter());
+  port_.resetMeter();
+
+  // Location-map derived indexes.
+  {
+    std::vector<std::uint8_t> colUsed(dev_.spec().cols, 0);
+    for (const auto& f : impl_.flops) colUsed[f.cb.x] = 1;
+    for (unsigned c = 0; c < dev_.spec().cols; ++c) {
+      if (colUsed[c]) usedCaptureCols_.push_back(c);
+    }
+    std::vector<std::uint8_t> blockUsed(dev_.spec().memBlocks, 0);
+    for (const auto& r : impl_.rams) {
+      for (const auto& s : r.slices) blockUsed[s.block] = 1;
+    }
+    for (unsigned b = 0; b < dev_.spec().memBlocks; ++b) {
+      if (blockUsed[b]) usedBramBlocks_.push_back(b);
+    }
+    for (const auto& r : impl_.routes) {
+      usedNodes_.insert(r.sourceNode);
+      usedNodes_.insert(r.sinkNodes.begin(), r.sinkNodes.end());
+      usedNodes_.insert(r.wireNodes.begin(), r.wireNodes.end());
+    }
+    fullStateReadBytes_ =
+        usedCaptureCols_.size() * dev_.spec().frameBytes +
+        std::uint64_t{usedBramBlocks_.size()} *
+            dev_.layout().bramFramesPerBlock() * dev_.spec().frameBytes;
+  }
+
+  // Golden run: trace, checkpoints, final state.
+  golden_.outputs.reserve(runCycles_);
+  for (std::uint64_t c = 0; c < runCycles_; ++c) {
+    if (c % opt_.checkpointInterval == 0) {
+      checkpoints_.push_back(dev_.captureState());
+    }
+    golden_.outputs.push_back(outputWord());
+    dev_.step();
+  }
+  captureFinalStateViaPort(golden_, /*chargeOnly=*/false);
+  port_.resetMeter();
+}
+
+std::uint64_t FadesTool::outputWord() const {
+  std::uint64_t w = 0;
+  unsigned shift = 0;
+  for (const auto& p : opt_.observedOutputs) {
+    w |= system_.portValue(p) << shift;
+    shift += 16;
+  }
+  return w;
+}
+
+void FadesTool::captureFinalStateViaPort(Observation& obs, bool chargeOnly) {
+  if (chargeOnly) {
+    port_.chargeCapture(fullStateReadBytes_);
+    return;
+  }
+  // One batched read-back of the capture plane plus the content plane; the
+  // meter charges it as a single capture operation of the combined size.
+  obs.finalFlops.clear();
+  obs.finalFlops.reserve(impl_.flops.size());
+  std::map<unsigned, std::vector<std::uint8_t>> captureByCol;
+  for (unsigned col : usedCaptureCols_) {
+    captureByCol[col] = dev_.readCaptureFrame(col);  // content; cost below
+  }
+  for (const auto& f : impl_.flops) {
+    const auto& bytes = captureByCol[f.cb.x];
+    obs.finalFlops.push_back((bytes[f.cb.y >> 3] >> (f.cb.y & 7)) & 1u);
+  }
+  obs.finalMemory.clear();
+  for (unsigned block : usedBramBlocks_) {
+    for (unsigned m = 0; m < dev_.layout().bramFramesPerBlock(); ++m) {
+      const auto bytes = dev_.readBramFrame(block, m);
+      for (std::size_t k = 0; k + 7 < bytes.size(); k += 8) {
+        std::uint64_t w = 0;
+        for (unsigned j = 0; j < 8; ++j) {
+          w |= static_cast<std::uint64_t>(bytes[k + j]) << (8 * j);
+        }
+        obs.finalMemory.push_back(w);
+      }
+    }
+  }
+  port_.chargeCapture(fullStateReadBytes_);
+}
+
+void FadesTool::chargeExperimentBaseline() {
+  // Reset to the initial state (Figure 1 "new experiment"): GSR pulse plus
+  // re-initialisation of the memory-block contents, which faults and the
+  // workload itself may have dirtied (Section 4.1: memory bit-flips persist
+  // until rewritten).
+  port_.chargeCommand();  // GSR
+  port_.chargeWrite(std::uint64_t{usedBramBlocks_.size()} *
+                    dev_.layout().bramFramesPerBlock() *
+                    dev_.spec().frameBytes);
+  // Output-trace upload from the on-board capture buffer (2 bytes/cycle).
+  port_.chargeRead(runCycles_ * 2);
+}
+
+double FadesTool::meterSeconds() const {
+  return opt_.link.seconds(port_.meter());
+}
+
+const fpga::DeviceState& FadesTool::checkpointAtOrBefore(
+    std::uint64_t cycle, std::uint64_t& ckCycle) const {
+  const std::size_t idx = std::min<std::size_t>(
+      cycle / opt_.checkpointInterval, checkpoints_.size() - 1);
+  ckCycle = idx * opt_.checkpointInterval;
+  return checkpoints_[idx];
+}
+
+// ---------------------------------------------------------------------------
+// Target enumeration (the fault-location process, Section 2)
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint32_t> FadesTool::targets(FaultModel model,
+                                              TargetClass cls,
+                                              Unit unit) const {
+  std::vector<std::uint32_t> out;
+  switch (cls) {
+    case TargetClass::SequentialFF:
+      out = impl_.flopsInUnit(unit);
+      break;
+    case TargetClass::MemoryBlockBit: {
+      for (const auto& r : impl_.rams) {
+        if (r.isRom) continue;  // the paper targets RAM, not program store
+        if (unit != Unit::None && r.unit != unit) continue;
+        for (const auto& s : r.slices) {
+          const unsigned rows = 1u << r.addrBits;
+          for (unsigned bit = 0; bit < rows * s.width; ++bit) {
+            out.push_back((s.block << 16) | bit);
+          }
+        }
+      }
+      break;
+    }
+    case TargetClass::CombinationalLut:
+      for (auto i : impl_.lutsInUnit(unit)) {
+        if (impl_.luts[i].out.valid()) out.push_back(i);  // skip const LUTs
+      }
+      break;
+    case TargetClass::CbInputLine:
+      for (auto i : impl_.flopsInUnit(unit)) {
+        if (impl_.flops[i].bypassInput) out.push_back(i);
+      }
+      break;
+    case TargetClass::SequentialLine:
+    case TargetClass::CombinationalLine: {
+      const bool seq = (cls == TargetClass::SequentialLine);
+      for (auto i : impl_.routesInUnit(unit, seq)) {
+        if (!impl_.routes[i].wireNodes.empty()) out.push_back(i);
+      }
+      break;
+    }
+  }
+  require(!out.empty(), ErrorKind::InjectionError,
+          std::string("no FADES targets: ") + toString(model) + " on " +
+              toString(cls));
+  return out;
+}
+
+std::string FadesTool::targetName(TargetClass cls,
+                                  std::uint32_t target) const {
+  switch (cls) {
+    case TargetClass::SequentialFF:
+      return impl_.flops[target].name;
+    case TargetClass::MemoryBlockBit:
+      return "bram" + std::to_string(target >> 16) + ".bit" +
+             std::to_string(target & 0xFFFF);
+    case TargetClass::CombinationalLut:
+      return "lut:" + impl_.luts[target].signalName;
+    case TargetClass::CbInputLine:
+      return "byp:" + impl_.flops[target].name;
+    case TargetClass::SequentialLine:
+    case TargetClass::CombinationalLine:
+      return "net:" + impl_.routes[target].signalName;
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Injection mechanisms (Section 4 / Table 1)
+// ---------------------------------------------------------------------------
+
+void FadesTool::inject(ActiveFault& fault, Rng& rng, double durationCycles) {
+  const auto& layout = dev_.layout();
+  switch (fault.model) {
+    case FaultModel::BitFlip: {
+      if (fault.cls == TargetClass::SequentialFF) {
+        fault.cb = impl_.flops[fault.target].cb;
+        port_.beginSession();
+        if (opt_.bitFlipVia == BitFlipVia::Lsr) {
+          // Fast path (Section 4.1): read the FF state, select the opposite
+          // level on PRMux/CLRMux, pulse the local set/reset by toggling
+          // InvertLSRMux.
+          const bool state = port_.readFfState(fault.cb);
+          const std::pair<CbField, bool> set[] = {{CbField::SrMode, !state},
+                                                  {CbField::InvLsr, true}};
+          port_.updateCbFields(fault.cb, set);
+          dev_.settle();
+          // Deassert the LSR and put SrMode back in one pass.
+          const std::pair<CbField, bool> clr[] = {
+              {CbField::InvLsr, false},
+              {CbField::SrMode, impl_.flops[fault.target].init}};
+          port_.updateCbFieldsBlind(fault.cb, clr);
+        } else {
+          // GSR path: read back ALL flip-flop states, configure every FF's
+          // set/reset mux to reproduce its state (target inverted), pulse
+          // the global line, then restore the mux selections. This is the
+          // high-traffic approach the paper advises against.
+          std::map<unsigned, std::vector<std::uint8_t>> capture;
+          for (unsigned col : usedCaptureCols_) {
+            capture[col] = port_.readCaptureFrame(col);
+          }
+          std::vector<std::pair<std::size_t, bool>> setBits, restoreBits;
+          for (std::uint32_t i = 0; i < impl_.flops.size(); ++i) {
+            const auto& site = impl_.flops[i];
+            const auto& bytes = capture[site.cb.x];
+            bool state = (bytes[site.cb.y >> 3] >> (site.cb.y & 7)) & 1u;
+            if (i == fault.target) state = !state;
+            setBits.emplace_back(layout.cbFieldBit(site.cb, CbField::SrMode),
+                                 state);
+            restoreBits.emplace_back(
+                layout.cbFieldBit(site.cb, CbField::SrMode), site.init);
+          }
+          port_.setLogicBits(setBits);
+          port_.pulseGsr();
+          port_.setLogicBitsBlind(restoreBits);
+          dev_.settle();
+        }
+        fault.needsRemoval = false;  // bit-flips persist until rewritten
+      } else {
+        // Memory-block bit-flip (Section 4.1, Figure 4): read the stored
+        // bit from the configuration memory and write it back inverted.
+        const unsigned block = fault.target >> 16;
+        const unsigned bit = fault.target & 0xFFFF;
+        port_.beginSession();
+        const bool v = port_.getBramBit(block, bit);
+        port_.setBramBit(block, bit, !v);
+        fault.needsRemoval = false;
+      }
+      break;
+    }
+    case FaultModel::Pulse: {
+      if (fault.cls == TargetClass::CombinationalLut) {
+        fault.cb = impl_.luts[fault.target].cb;
+        port_.beginSession();
+        // Section 4.2 / Figure 5: read the table, extract the circuit,
+        // invert one line (output, input or internal), download.
+        fault.originalTable = port_.getLutTable(fault.cb);
+        const ExtractedCircuit circuit(fault.originalTable);
+        const unsigned line =
+            static_cast<unsigned>(rng.below(circuit.candidateLineCount()));
+        port_.setLutTable(fault.cb, circuit.tableWithFaultedLine(line));
+        dev_.settle();
+        fault.needsRemoval = true;
+      } else {
+        // CB input through its inverter multiplexer (Figure 6).
+        fault.cb = impl_.flops[fault.target].cb;
+        port_.beginSession();
+        const std::pair<CbField, bool> set[] = {{CbField::InvByp, true}};
+        port_.updateCbFields(fault.cb, set);
+        dev_.settle();
+        fault.needsRemoval = true;
+      }
+      (void)durationCycles;
+      break;
+    }
+    case FaultModel::Delay: {
+      const auto& route = impl_.routes[fault.target];
+      const auto& nodes = dev_.nodes();
+      std::vector<std::pair<std::size_t, bool>> changes;  // (bit, newValue)
+
+      auto trySegment = [&](std::uint32_t node) {
+        const auto k = nodes.info(node).kind;
+        return k == NodeKind::HSeg || k == NodeKind::VSeg;
+      };
+
+      if (opt_.delayVia == DelayVia::ShiftRegister) {
+        // Figure 7: break the line at its driver and re-route it through an
+        // unused CB whose flip-flop acts as a shift-register stage - the
+        // signal arrives whole clock cycles late while the fault is active.
+        auto bfsTo = [&](std::uint32_t from, std::uint32_t to,
+                         std::size_t forbiddenBit,
+                         const std::set<std::uint32_t>& avoid)
+            -> std::pair<std::vector<std::size_t>,
+                         std::vector<std::uint32_t>> {
+          std::map<std::uint32_t, std::pair<std::uint32_t, std::size_t>> prev;
+          std::vector<std::uint32_t> queue{from};
+          prev[from] = {from, 0};
+          bool found = false;
+          for (std::size_t h = 0; h < queue.size() && !found; ++h) {
+            const std::uint32_t n = queue[h];
+            synth::forEachNeighbor(
+                dev_.layout(), nodes, n,
+                [&](std::uint32_t nb, std::size_t bit) {
+                  if (found || bit == forbiddenBit || prev.count(nb)) return;
+                  if (nb == to) {
+                    prev[nb] = {n, bit};
+                    found = true;
+                    return;
+                  }
+                  if (!trySegment(nb) || usedNodes_.count(nb) ||
+                      avoid.count(nb) || queue.size() > 6000) {
+                    return;
+                  }
+                  prev[nb] = {n, bit};
+                  queue.push_back(nb);
+                });
+          }
+          std::vector<std::size_t> bits;
+          std::vector<std::uint32_t> pathNodes;
+          if (!found) return {bits, pathNodes};
+          std::uint32_t n = to;
+          while (n != from) {
+            const auto [p, bit] = prev[n];
+            bits.push_back(bit);
+            pathNodes.push_back(n);
+            n = p;
+          }
+          return {bits, pathNodes};
+        };
+
+        // The source pin must hang off the tree through exactly one edge.
+        std::size_t srcEdge = route.edgeNodes.size();
+        unsigned srcEdgeCount = 0;
+        for (std::size_t ei = 0; ei < route.edgeNodes.size(); ++ei) {
+          if (route.edgeNodes[ei].first == route.sourceNode ||
+              route.edgeNodes[ei].second == route.sourceNode) {
+            srcEdge = ei;
+            ++srcEdgeCount;
+          }
+        }
+        if (srcEdgeCount == 1) {
+          const auto [ea, eb] = route.edgeNodes[srcEdge];
+          const std::uint32_t s0 = (ea == route.sourceNode) ? eb : ea;
+          const std::size_t directBit = route.transistorBits[srcEdge];
+
+          // Find a fully unused CB near the first segment.
+          double sx, sy;
+          nodes.position(s0, sx, sy);
+          const auto& layout = dev_.layout();
+          fpga::CbCoord spare{};
+          bool haveSpare = false;
+          for (int radius = 1; radius <= 6 && !haveSpare; ++radius) {
+            for (int dy = -radius; dy <= radius && !haveSpare; ++dy) {
+              for (int dx = -radius; dx <= radius && !haveSpare; ++dx) {
+                const int x = static_cast<int>(sx) + dx;
+                const int y = static_cast<int>(sy) + dy;
+                if (x < 0 || y < 0 || x >= int(dev_.spec().cols) ||
+                    y >= int(dev_.spec().rows)) {
+                  continue;
+                }
+                const fpga::CbCoord cb{static_cast<std::uint16_t>(x),
+                                       static_cast<std::uint16_t>(y)};
+                if (dev_.logicBit(layout.cbFieldBit(cb, CbField::FfUsed)) ||
+                    dev_.logicBit(layout.cbFieldBit(cb, CbField::LutUsed))) {
+                  continue;
+                }
+                spare = cb;
+                haveSpare = true;
+              }
+            }
+          }
+          if (haveSpare) {
+            const auto bypPin = nodes.cbIn(spare, fpga::CbInPin::Byp);
+            const auto ffPin = nodes.cbOut(spare, fpga::CbOutPin::Ff);
+            const auto [leg1, leg1Nodes] =
+                bfsTo(route.sourceNode, bypPin, directBit, {});
+            std::set<std::uint32_t> avoid(leg1Nodes.begin(),
+                                          leg1Nodes.end());
+            const auto [leg2, leg2Nodes] =
+                bfsTo(ffPin, s0, directBit, avoid);
+            (void)leg2Nodes;
+            if (!leg1.empty() && !leg2.empty()) {
+              changes.emplace_back(directBit, false);
+              for (auto bit : leg1) changes.emplace_back(bit, true);
+              for (auto bit : leg2) changes.emplace_back(bit, true);
+              changes.emplace_back(layout.cbFieldBit(spare, CbField::FfUsed),
+                                   true);
+              changes.emplace_back(
+                  layout.cbFieldBit(spare, CbField::FfInSrc), true);
+            }
+          }
+        }
+      } else if (opt_.delayVia == DelayVia::Reroute) {
+        // Open one wire-to-wire hop of the route and close a longer detour
+        // through unused fabric (Table 1: "increase routing path"). The
+        // detour passes through a random via waypoint several tiles away,
+        // so the added wire length - and therefore the injected delay -
+        // varies from fault to fault, like a physical delay distribution.
+        auto bfs = [&](std::uint32_t from, std::uint32_t to,
+                       std::size_t forbiddenBit,
+                       const std::map<std::uint32_t, bool>& avoid)
+            -> std::vector<std::pair<std::size_t, std::uint32_t>> {
+          // Returns (transistorBit, node) hops from `from` to `to`.
+          std::map<std::uint32_t, std::pair<std::uint32_t, std::size_t>> prev;
+          std::vector<std::uint32_t> queue{from};
+          prev[from] = {from, 0};
+          bool found = false;
+          for (std::size_t h = 0; h < queue.size() && !found; ++h) {
+            const std::uint32_t n = queue[h];
+            synth::forEachNeighbor(
+                dev_.layout(), nodes, n,
+                [&](std::uint32_t nb, std::size_t bit) {
+                  if (found || bit == forbiddenBit) return;
+                  if (prev.count(nb)) return;
+                  if (nb == to) {
+                    prev[nb] = {n, bit};
+                    found = true;
+                    return;
+                  }
+                  if (!trySegment(nb) || usedNodes_.count(nb) ||
+                      avoid.count(nb) || queue.size() > 6000) {
+                    return;
+                  }
+                  prev[nb] = {n, bit};
+                  queue.push_back(nb);
+                });
+          }
+          std::vector<std::pair<std::size_t, std::uint32_t>> path;
+          if (!found) return path;
+          std::uint32_t n = to;
+          while (n != from) {
+            const auto [p, bit] = prev[n];
+            path.emplace_back(bit, n);
+            n = p;
+          }
+          return path;
+        };
+
+        std::vector<std::size_t> edgeOrder(route.edgeNodes.size());
+        for (std::size_t i = 0; i < edgeOrder.size(); ++i) edgeOrder[i] = i;
+        for (std::size_t i = edgeOrder.size(); i > 1; --i) {
+          std::swap(edgeOrder[i - 1], edgeOrder[rng.below(i)]);
+        }
+        for (std::size_t ei : edgeOrder) {
+          const auto [a, b] = route.edgeNodes[ei];
+          if (!trySegment(a) || !trySegment(b)) continue;
+          const std::size_t directBit = route.transistorBits[ei];
+
+          double ax, ay;
+          nodes.position(a, ax, ay);
+          const auto& spec = dev_.spec();
+          const int radius = 2 + static_cast<int>(rng.below(11));
+          bool done = false;
+          for (int attempt = 0; attempt < 16 && !done; ++attempt) {
+            const int vx = std::clamp<int>(
+                static_cast<int>(ax) + static_cast<int>(rng.below(2u * radius + 1)) - radius,
+                0, static_cast<int>(spec.cols) - 1);
+            const int vy = std::clamp<int>(
+                static_cast<int>(ay) + static_cast<int>(rng.below(2u * radius + 1)) - radius,
+                0, static_cast<int>(spec.rows) - 1);
+            const unsigned t = static_cast<unsigned>(rng.below(spec.tracks));
+            const std::uint32_t via =
+                rng.coin() ? nodes.hseg(static_cast<unsigned>(vx),
+                                        static_cast<unsigned>(vy), t)
+                           : nodes.vseg(static_cast<unsigned>(vx),
+                                        static_cast<unsigned>(vy), t);
+            if (usedNodes_.count(via) || via == a || via == b) continue;
+
+            const auto leg1 = bfs(a, via, directBit, {});
+            if (leg1.empty()) continue;
+            std::map<std::uint32_t, bool> avoid;
+            for (const auto& [bit, n] : leg1) avoid[n] = true;
+            avoid.erase(via);
+            const auto leg2 = bfs(via, b, directBit, avoid);
+            if (leg2.empty()) continue;
+
+            changes.emplace_back(directBit, false);
+            for (const auto& [bit, n] : leg1) changes.emplace_back(bit, true);
+            for (const auto& [bit, n] : leg2) changes.emplace_back(bit, true);
+            done = true;
+          }
+          if (done) break;
+        }
+      }
+      if (changes.empty()) {
+        // Fan-out increase (Figure 8): switch ON an unused pass transistor
+        // touching the line; fallback when no detour exists.
+        std::vector<std::uint32_t> wireOrder = route.wireNodes;
+        for (std::size_t i = wireOrder.size(); i > 1; --i) {
+          std::swap(wireOrder[i - 1], wireOrder[rng.below(i)]);
+        }
+        for (std::uint32_t w : wireOrder) {
+          bool done = false;
+          synth::forEachNeighbor(dev_.layout(), nodes, w,
+                                 [&](std::uint32_t nb, std::size_t bit) {
+                                   if (done || !trySegment(nb)) return;
+                                   if (usedNodes_.count(nb)) return;
+                                   if (dev_.logicBit(bit)) return;
+                                   changes.emplace_back(bit, true);
+                                   done = true;
+                                 });
+          if (done) break;
+        }
+      }
+      require(!changes.empty(), ErrorKind::InjectionError,
+              "no delay-fault site available on net " + route.signalName);
+
+      port_.beginSession();
+      if (opt_.fullDownloadForDelay) {
+        // Replicates the paper's JBits/driver limitation: the whole
+        // configuration file is transferred even for a handful of bits.
+        for (const auto& [bit, v] : changes) dev_.setLogicBit(bit, v);
+        port_.chargeFullImage();
+      } else {
+        std::vector<std::pair<std::size_t, bool>> updates(changes.begin(),
+                                                          changes.end());
+        port_.setLogicBits(updates);
+      }
+      dev_.settle();
+      for (const auto& [bit, v] : changes) {
+        fault.restoreBits.emplace_back(bit, !v);
+      }
+      fault.needsRemoval = true;
+      break;
+    }
+    case FaultModel::Indetermination: {
+      fault.indetValue = rng.coin();
+      if (fault.cls == TargetClass::SequentialFF) {
+        // Section 4.4: the undetermined level resolves to a random final
+        // logic value; the FF's local set/reset holds it for the duration.
+        fault.cb = impl_.flops[fault.target].cb;
+        port_.beginSession();
+        const std::pair<CbField, bool> set[] = {
+            {CbField::SrMode, fault.indetValue}, {CbField::InvLsr, true}};
+        port_.updateCbFieldsBlind(fault.cb, set);
+        dev_.settle();
+        fault.needsRemoval = true;
+      } else {
+        fault.cb = impl_.luts[fault.target].cb;
+        fault.originalTable = impl_.luts[fault.target].table;  // host mirror
+        port_.beginSession();
+        port_.setLutTableBlind(
+            fault.cb, static_cast<std::uint16_t>(rng.below(0x10000)));
+        dev_.settle();
+        fault.needsRemoval = true;
+      }
+      break;
+    }
+  }
+}
+
+void FadesTool::oscillate(ActiveFault& fault, Rng& rng) {
+  if (fault.model != FaultModel::Indetermination) return;
+  // Re-randomizing mid-fault is a fresh reconfiguration pass each cycle -
+  // the mechanism behind the paper's ~4605 s oscillating campaigns.
+  port_.beginSession();
+  if (fault.cls == TargetClass::SequentialFF) {
+    const std::pair<CbField, bool> set[] = {{CbField::SrMode, rng.coin()}};
+    port_.updateCbFieldsBlind(fault.cb, set);
+  } else {
+    port_.setLutTableBlind(fault.cb,
+                           static_cast<std::uint16_t>(rng.below(0x10000)));
+  }
+  dev_.settle();
+}
+
+void FadesTool::remove(ActiveFault& fault) {
+  if (!fault.needsRemoval) return;
+  switch (fault.model) {
+    case FaultModel::Pulse:
+      // Pulses spanning whole cycles need a second reconfiguration pass;
+      // sub-cycle ones were injected and removed within one (Section 6.2).
+      if (!fault.subCycle) port_.beginSession();
+      if (fault.cls == TargetClass::CombinationalLut) {
+        if (!fault.subCycle) {
+          // Separate pass: the tool re-reads the (faulted) table to verify
+          // the injection before writing the original back.
+          (void)port_.getLutTable(fault.cb);
+        }
+        port_.setLutTable(fault.cb, fault.originalTable);
+      } else {
+        const std::pair<CbField, bool> clr[] = {{CbField::InvByp, false}};
+        port_.updateCbFields(fault.cb, clr);
+      }
+      break;
+    case FaultModel::Delay:
+      port_.beginSession();
+      if (opt_.fullDownloadForDelay) {
+        for (const auto& [bit, v] : fault.restoreBits) {
+          dev_.setLogicBit(bit, v);
+        }
+        port_.chargeFullImage();
+      } else {
+        port_.setLogicBits(fault.restoreBits);
+      }
+      break;
+    case FaultModel::Indetermination:
+      if (fault.cls == TargetClass::SequentialFF) {
+        // The LSR line holds the random level for the whole duration, so
+        // releasing it is a fresh driver round-trip at expiry.
+        if (!fault.subCycle) port_.beginSession();
+        const std::pair<CbField, bool> clr[] = {
+            {CbField::InvLsr, false},
+            {CbField::SrMode, impl_.flops[fault.target].init}};
+        port_.updateCbFieldsBlind(fault.cb, clr);
+      } else {
+        // LUT restore needs no fresh device data (the randomizer works
+        // from the host mirror), so it rides the open session.
+        port_.setLutTableBlind(fault.cb, fault.originalTable);
+      }
+      break;
+    case FaultModel::BitFlip:
+      break;  // persists until rewritten
+  }
+  dev_.settle();
+  fault.needsRemoval = false;
+}
+
+// ---------------------------------------------------------------------------
+// Experiments
+// ---------------------------------------------------------------------------
+
+Outcome FadesTool::runExperiment(FaultModel model, TargetClass cls,
+                                 std::uint32_t target,
+                                 std::uint64_t injectCycle,
+                                 double durationCycles, Rng& rng,
+                                 double* modeledSeconds,
+                                 bits::TransferMeter* meterOut) {
+  require(injectCycle < runCycles_, ErrorKind::InvalidArgument,
+          "injection instant beyond workload");
+  // Fan-out and detour delays work through the timing model (they make
+  // paths miss setup); the shift-register mechanism is functional and needs
+  // no timing analysis.
+  if (model == FaultModel::Delay &&
+      opt_.delayVia != DelayVia::ShiftRegister && !dev_.timingEnabled()) {
+    dev_.setTimingEnabled(true);
+    dev_.settle();
+    require(dev_.timingReport().lateFfCount == 0, ErrorKind::ConfigError,
+            "fault-free design misses timing; increase clockPeriodNs");
+  }
+
+  port_.resetMeter();
+  chargeExperimentBaseline();
+
+  // Host-side replay from the nearest checkpoint (the modeled flow runs the
+  // workload from reset; its duration is charged via fpgaClockHz below).
+  std::uint64_t ckCycle = 0;
+  dev_.restoreState(checkpointAtOrBefore(injectCycle, ckCycle));
+  for (std::uint64_t c = ckCycle; c < injectCycle; ++c) dev_.step();
+
+  // Sub-cycle faults overlap a sampling edge with probability = duration.
+  std::uint64_t effectiveCycles;
+  if (durationCycles < 1.0) {
+    effectiveCycles = rng.uniform01() < durationCycles ? 1 : 0;
+  } else {
+    effectiveCycles = static_cast<std::uint64_t>(durationCycles + 0.5);
+  }
+
+  Observation faulty;
+  faulty.outputs.assign(
+      golden_.outputs.begin(),
+      golden_.outputs.begin() + static_cast<std::ptrdiff_t>(injectCycle));
+  bool diverged = false;
+  auto stepObserved = [&] {
+    const std::uint64_t w = outputWord();
+    diverged |= (w != golden_.outputs[faulty.outputs.size()]);
+    faulty.outputs.push_back(w);
+    dev_.step();
+  };
+
+  ActiveFault fault;
+  fault.model = model;
+  fault.cls = cls;
+  fault.target = target;
+  fault.subCycle = durationCycles < 1.0;
+  inject(fault, rng, durationCycles);
+
+  if (model == FaultModel::BitFlip) {
+    // Transient in cause, persistent in effect: nothing to remove.
+  } else if (effectiveCycles == 0) {
+    // Sub-cycle fault missing every edge: inject + remove back-to-back
+    // within the same reconfiguration pass where the mechanism allows.
+    remove(fault);
+  } else {
+    for (std::uint64_t k = 0;
+         k < effectiveCycles && dev_.cycle() < runCycles_; ++k) {
+      if (k > 0 && opt_.oscillatingIndetermination) oscillate(fault, rng);
+      stepObserved();
+    }
+    remove(fault);
+  }
+
+  // Observe to the end of the workload; once the trace has diverged the
+  // outcome is already Failure and the remaining observation is charged
+  // without being executed.
+  while (!diverged && dev_.cycle() < runCycles_) stepObserved();
+
+  Outcome outcome;
+  if (diverged) {
+    captureFinalStateViaPort(faulty, /*chargeOnly=*/true);
+    outcome = Outcome::Failure;
+  } else {
+    faulty.outputs.resize(runCycles_);
+    captureFinalStateViaPort(faulty, /*chargeOnly=*/false);
+    outcome = campaign::classify(golden_, faulty);
+  }
+
+  if (modeledSeconds != nullptr) {
+    *modeledSeconds = meterSeconds() +
+                      static_cast<double>(runCycles_) / opt_.fpgaClockHz +
+                      opt_.hostPerExperimentSeconds;
+  }
+  if (meterOut != nullptr) *meterOut = port_.meter();
+  return outcome;
+}
+
+CampaignResult FadesTool::runCampaign(const CampaignSpec& spec) {
+  CampaignResult result;
+  result.spec = spec;
+  Rng rng(spec.seed);
+  const auto unit = static_cast<Unit>(spec.unit);
+  const auto pool = spec.targetPool.empty()
+                        ? targets(spec.model, spec.targets, unit)
+                        : spec.targetPool;
+
+  for (unsigned e = 0; e < spec.experiments; ++e) {
+    // A handful of sites cannot host certain faults (e.g. a net with no
+    // free fabric around it for a delay detour); redraw like the paper's
+    // tool would skip an unusable location.
+    for (unsigned attempt = 0;; ++attempt) {
+      Rng erng = rng.fork(e * 131 + attempt);
+      const auto target = pool[erng.below(pool.size())];
+      const auto injectCycle = erng.below(runCycles_);
+      const double duration =
+          spec.band.minCycles +
+          erng.uniform01() * (spec.band.maxCycles - spec.band.minCycles);
+      double seconds = 0;
+      try {
+        const Outcome o = runExperiment(spec.model, spec.targets, target,
+                                        injectCycle, duration, erng,
+                                        &seconds);
+        result.add(o, seconds);
+        if (opt_.keepRecords) {
+          result.records.push_back(campaign::ExperimentRecord{
+              targetName(spec.targets, target), injectCycle, duration, o,
+              seconds});
+        }
+        break;
+      } catch (const common::FadesError& err) {
+        if (err.kind() != common::ErrorKind::InjectionError ||
+            attempt >= 20) {
+          throw;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Outcome FadesTool::runMultipleBitFlipExperiment(
+    std::span<const std::uint32_t> flopTargets, std::uint64_t injectCycle,
+    double* modeledSeconds) {
+  require(!flopTargets.empty(), ErrorKind::InvalidArgument,
+          "empty MBU target set");
+  require(injectCycle < runCycles_, ErrorKind::InvalidArgument,
+          "injection instant beyond workload");
+
+  port_.resetMeter();
+  chargeExperimentBaseline();
+  std::uint64_t ckCycle = 0;
+  dev_.restoreState(checkpointAtOrBefore(injectCycle, ckCycle));
+  for (std::uint64_t c = ckCycle; c < injectCycle; ++c) dev_.step();
+
+  // GSR-based multiple flip: read back all FF states, program every FF's
+  // set/reset mux with its current value - the targets inverted - and pulse
+  // the global line once.
+  port_.beginSession();
+  std::map<unsigned, std::vector<std::uint8_t>> capture;
+  for (unsigned col : usedCaptureCols_) {
+    capture[col] = port_.readCaptureFrame(col);
+  }
+  std::vector<std::pair<std::size_t, bool>> setBits, restoreBits;
+  for (std::uint32_t i = 0; i < impl_.flops.size(); ++i) {
+    const auto& site = impl_.flops[i];
+    const auto& bytes = capture[site.cb.x];
+    bool state = (bytes[site.cb.y >> 3] >> (site.cb.y & 7)) & 1u;
+    for (auto t : flopTargets) {
+      if (t == i) state = !state;
+    }
+    setBits.emplace_back(dev_.layout().cbFieldBit(site.cb, CbField::SrMode),
+                         state);
+    restoreBits.emplace_back(
+        dev_.layout().cbFieldBit(site.cb, CbField::SrMode), site.init);
+  }
+  port_.setLogicBits(setBits);
+  port_.pulseGsr();
+  port_.setLogicBitsBlind(restoreBits);
+  dev_.settle();
+
+  Observation faulty;
+  faulty.outputs.assign(
+      golden_.outputs.begin(),
+      golden_.outputs.begin() + static_cast<std::ptrdiff_t>(injectCycle));
+  bool diverged = false;
+  while (!diverged && dev_.cycle() < runCycles_) {
+    const std::uint64_t w = outputWord();
+    diverged |= (w != golden_.outputs[faulty.outputs.size()]);
+    faulty.outputs.push_back(w);
+    dev_.step();
+  }
+
+  Outcome outcome;
+  if (diverged) {
+    captureFinalStateViaPort(faulty, /*chargeOnly=*/true);
+    outcome = Outcome::Failure;
+  } else {
+    faulty.outputs.resize(runCycles_);
+    captureFinalStateViaPort(faulty, /*chargeOnly=*/false);
+    outcome = campaign::classify(golden_, faulty);
+  }
+  if (modeledSeconds != nullptr) {
+    *modeledSeconds = meterSeconds() +
+                      static_cast<double>(runCycles_) / opt_.fpgaClockHz +
+                      opt_.hostPerExperimentSeconds;
+  }
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 probe
+// ---------------------------------------------------------------------------
+
+std::vector<RegisterEffect> FadesTool::multiBitFlipProbe(
+    std::uint32_t lutIndex, std::uint64_t cycle, Rng& rng) {
+  require(lutIndex < impl_.luts.size(), ErrorKind::InvalidArgument,
+          "lut index out of range");
+  (void)rng;
+
+  auto registerValues = [&] {
+    // Group flip-flop states into registers by HDL name ("acc[3]" -> acc).
+    std::map<std::string, std::uint64_t> regs;
+    for (const auto& f : impl_.flops) {
+      std::string reg = f.name;
+      unsigned bit = 0;
+      if (const auto p = reg.find('['); p != std::string::npos) {
+        bit = static_cast<unsigned>(std::stoul(reg.substr(p + 1)));
+        reg = reg.substr(0, p);
+      }
+      auto& value = regs[reg];
+      if (dev_.ffState(f.cb)) value |= 1ULL << bit;
+    }
+    return regs;
+  };
+
+  // Golden next-state.
+  std::uint64_t ckCycle = 0;
+  dev_.restoreState(checkpointAtOrBefore(cycle, ckCycle));
+  for (std::uint64_t c = ckCycle; c < cycle; ++c) dev_.step();
+  const fpga::DeviceState atCycle = dev_.captureState();
+  dev_.step();
+  const auto goldenRegs = registerValues();
+
+  // Faulty next-state: invert the LUT output for exactly one edge.
+  dev_.restoreState(atCycle);
+  const CbCoord cb = impl_.luts[lutIndex].cb;
+  const std::uint16_t original = impl_.luts[lutIndex].table;
+  port_.setLutTable(cb, ExtractedCircuit::tableWithInvertedOutput(original));
+  dev_.settle();
+  dev_.step();
+  const auto faultyRegs = registerValues();
+  port_.setLutTable(cb, original);
+  dev_.settle();
+
+  std::vector<RegisterEffect> out;
+  for (const auto& [name, gv] : goldenRegs) {
+    const auto it = faultyRegs.find(name);
+    if (it != faultyRegs.end() && it->second != gv) {
+      out.push_back(RegisterEffect{name, gv, it->second});
+    }
+  }
+  return out;
+}
+
+}  // namespace fades::core

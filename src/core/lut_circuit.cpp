@@ -1,0 +1,116 @@
+#include "core/lut_circuit.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace fades::core {
+
+using common::ErrorKind;
+using common::require;
+
+ExtractedCircuit::ExtractedCircuit(std::uint16_t table) : table_(table) {
+  // Bottom-up reduced Shannon decomposition over variables 3..0. `funcs`
+  // maps a (sub)function on k variables, encoded as a truth table over the
+  // full 16 minterms, to a node reference.
+  std::map<std::uint16_t, int> unique;
+
+  // Recursive build over cofactor masks.
+  struct Builder {
+    std::map<std::pair<std::uint32_t, unsigned>, int> memo;
+    std::vector<Node>& nodes;
+    std::map<std::uint64_t, int> uniqueNodes;
+
+    explicit Builder(std::vector<Node>& n) : nodes(n) {}
+
+    /// f: 2^vars-bit function over variables [0, vars).
+    int build(std::uint32_t f, unsigned vars) {
+      const std::uint32_t full = (vars == 5) ? 0 : ((1u << (1u << vars)) - 1);
+      (void)full;
+      if (vars == 0) return (f & 1u) ? 1 : 0;
+      const auto key = std::make_pair(f, vars);
+      if (const auto it = memo.find(key); it != memo.end()) {
+        return it->second;
+      }
+      // Split on the highest variable: low half = var 0, ...
+      const unsigned half = 1u << (vars - 1);
+      const std::uint32_t mask = (1u << half) - 1;
+      const std::uint32_t lo = f & mask;
+      const std::uint32_t hi = (f >> half) & mask;
+      int result;
+      if (lo == hi) {
+        result = build(lo, vars - 1);
+      } else {
+        const int loRef = build(lo, vars - 1);
+        const int hiRef = build(hi, vars - 1);
+        const std::uint64_t nodeKey =
+            (static_cast<std::uint64_t>(vars - 1) << 40) |
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(loRef))
+             << 20) |
+            static_cast<std::uint32_t>(hiRef);
+        if (const auto it = uniqueNodes.find(nodeKey);
+            it != uniqueNodes.end()) {
+          result = it->second;
+        } else {
+          nodes.push_back(Node{vars - 1, loRef, hiRef});
+          result = static_cast<int>(nodes.size()) - 1 + 2;
+          uniqueNodes[nodeKey] = result;
+        }
+      }
+      memo[key] = result;
+      return result;
+    }
+  };
+
+  Builder builder(nodes_);
+  root_ = builder.build(table, 4);
+}
+
+bool ExtractedCircuit::evalRef(int ref, unsigned minterm,
+                               int invertedNode) const {
+  bool v;
+  if (ref == 0) {
+    v = false;
+  } else if (ref == 1) {
+    v = true;
+  } else {
+    const Node& n = nodes_[static_cast<std::size_t>(ref - 2)];
+    const bool sel = (minterm >> n.var) & 1u;
+    v = evalRef(sel ? n.hi : n.lo, minterm, invertedNode);
+  }
+  if (ref >= 2 && ref - 2 == invertedNode) v = !v;
+  return v;
+}
+
+std::uint16_t ExtractedCircuit::tableWithInvertedInternalLine(
+    unsigned line) const {
+  require(line < nodes_.size(), ErrorKind::InvalidArgument,
+          "internal line out of range");
+  std::uint16_t out = 0;
+  for (unsigned m = 0; m < 16; ++m) {
+    if (evalRef(root_, m, static_cast<int>(line))) {
+      out |= static_cast<std::uint16_t>(1u << m);
+    }
+  }
+  return out;
+}
+
+std::uint16_t ExtractedCircuit::tableWithInvertedInput(std::uint16_t table,
+                                                       unsigned input) {
+  require(input < 4, ErrorKind::InvalidArgument, "input line out of range");
+  std::uint16_t out = 0;
+  for (unsigned m = 0; m < 16; ++m) {
+    if ((table >> (m ^ (1u << input))) & 1u) {
+      out |= static_cast<std::uint16_t>(1u << m);
+    }
+  }
+  return out;
+}
+
+std::uint16_t ExtractedCircuit::tableWithFaultedLine(unsigned candidate) const {
+  if (candidate == 0) return tableWithInvertedOutput(table_);
+  if (candidate <= 4) return tableWithInvertedInput(table_, candidate - 1);
+  return tableWithInvertedInternalLine(candidate - 5);
+}
+
+}  // namespace fades::core

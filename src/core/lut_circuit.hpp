@@ -1,0 +1,61 @@
+// Circuit extraction from LUT truth tables (paper Section 4.2, Figure 5).
+//
+// A pulse (or indetermination) fault can hit not only the LUT's output or
+// input lines but also an *internal* line of the combinational circuit the
+// LUT implements. Following the paper's approach (derived from Parreira et
+// al.), the tool reconstructs a structural representation of the circuit
+// purely from the truth table - here a reduced ordered BDD, whose nodes are
+// the internal lines - recomputes the table with one line inverted, and
+// downloads the faulted table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fades::core {
+
+class ExtractedCircuit {
+ public:
+  /// Build the structural representation of the 4-input function.
+  explicit ExtractedCircuit(std::uint16_t table);
+
+  std::uint16_t table() const { return table_; }
+
+  /// Number of internal lines (structure nodes) in the extracted circuit.
+  unsigned internalLineCount() const {
+    return static_cast<unsigned>(nodes_.size());
+  }
+
+  /// Truth table with internal line `line` (< internalLineCount) inverted.
+  std::uint16_t tableWithInvertedInternalLine(unsigned line) const;
+
+  /// Truth table with input line `input` (< 4) inverted.
+  static std::uint16_t tableWithInvertedInput(std::uint16_t table,
+                                              unsigned input);
+
+  /// Truth table with the output line inverted.
+  static std::uint16_t tableWithInvertedOutput(std::uint16_t table) {
+    return static_cast<std::uint16_t>(~table);
+  }
+
+  /// All candidate pulse lines: output, inputs 0-3, then internal lines.
+  /// Returns the faulted table for candidate index `k`
+  /// (k == 0: output, 1..4: inputs, 5..: internal lines).
+  unsigned candidateLineCount() const { return 5 + internalLineCount(); }
+  std::uint16_t tableWithFaultedLine(unsigned candidate) const;
+
+ private:
+  struct Node {
+    unsigned var = 0;  // splitting input variable
+    int lo = 0;        // reference: 0/1 = terminals, k+2 = node k
+    int hi = 0;
+  };
+
+  bool evalRef(int ref, unsigned minterm, int invertedNode) const;
+
+  std::uint16_t table_ = 0;
+  std::vector<Node> nodes_;
+  int root_ = 0;
+};
+
+}  // namespace fades::core

@@ -1,0 +1,67 @@
+// Permanent fault models - the paper's announced future work (Section 8):
+// "the extension of this framework to cover a set of typical permanent
+// faults that have not been used for fault emulation of VLSI systems yet,
+// such as short, open-line, bridging and stuck-open faults."
+//
+// All four are emulated with the same run-time reconfiguration machinery:
+//
+//   stuck-at-0/1  LUT rewritten to a constant (combinational), or the FF's
+//                 local set/reset held asserted (sequential)
+//   open-line     a connection-box pass transistor of a routed net switched
+//                 OFF: downstream sinks float to the weak '0' level
+//   stuck-open    like open-line, but a programmable-matrix switch on the
+//                 path opens (splits the net mid-route)
+//   bridging      an extra pass transistor closes between two DIFFERENT
+//                 routed nets; the short resolves as dominant-AND logic
+//
+// Permanent faults are present from power-on and never removed during the
+// run; the device configuration is restored between experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fades.hpp"
+
+namespace fades::core {
+
+enum class PermanentFaultModel : std::uint8_t {
+  StuckAt0,
+  StuckAt1,
+  OpenLine,
+  StuckOpen,
+  Bridging,
+};
+const char* toString(PermanentFaultModel m);
+
+struct PermanentCampaignSpec {
+  PermanentFaultModel model = PermanentFaultModel::StuckAt0;
+  Unit unit = Unit::None;
+  unsigned experiments = 200;
+  std::uint64_t seed = 1;
+};
+
+/// Permanent-fault layer on top of a FadesTool (shares its device, golden
+/// run, cost model and configuration port).
+class PermanentFaults {
+ public:
+  explicit PermanentFaults(FadesTool& tool) : tool_(tool) {}
+
+  /// Target handles: LUT site indices for stuck-at, route indices for the
+  /// line faults. FF stuck-at targets are flop sites encoded with the MSB
+  /// set.
+  std::vector<std::uint32_t> targets(PermanentFaultModel model,
+                                     Unit unit) const;
+
+  Outcome runExperiment(PermanentFaultModel model, std::uint32_t target,
+                        common::Rng& rng, double* modeledSeconds = nullptr);
+
+  campaign::CampaignResult runCampaign(const PermanentCampaignSpec& spec);
+
+  static constexpr std::uint32_t kFlopFlag = 0x80000000u;
+
+ private:
+  FadesTool& tool_;
+};
+
+}  // namespace fades::core

@@ -1,0 +1,154 @@
+#include "fpga/bitstream_io.hpp"
+
+#include <array>
+#include <cstdio>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace fades::fpga {
+
+using common::ErrorKind;
+using common::raise;
+using common::require;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xFADE5B17;
+constexpr std::uint32_t kVersion = 1;
+
+void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void putU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+struct Reader {
+  const std::vector<std::uint8_t>& b;
+  std::size_t pos = 0;
+
+  std::uint32_t u32() {
+    require(pos + 4 <= b.size(), ErrorKind::ConfigError,
+            "truncated bitstream container");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{b[pos++]} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    require(pos + 8 <= b.size(), ErrorKind::ConfigError,
+            "truncated bitstream container");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[pos++]} << (8 * i);
+    return v;
+  }
+};
+
+const std::array<std::uint32_t, 256>& crcTable() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = crcTable()[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> serializeBitstream(const DeviceSpec& spec,
+                                             const Bitstream& bs) {
+  std::vector<std::uint8_t> out;
+  putU32(out, kMagic);
+  putU32(out, kVersion);
+  putU32(out, spec.rows);
+  putU32(out, spec.cols);
+  putU32(out, spec.tracks);
+  putU32(out, spec.memBlocks);
+  putU32(out, spec.memBlockBits);
+  putU64(out, bs.logic.size());
+  putU64(out, bs.bram.size());
+  const auto logicBytes = bs.logic.exportBytes(0, bs.logic.size());
+  const auto bramBytes = bs.bram.exportBytes(0, bs.bram.size());
+  const std::size_t payloadStart = out.size();
+  out.insert(out.end(), logicBytes.begin(), logicBytes.end());
+  out.insert(out.end(), bramBytes.begin(), bramBytes.end());
+  putU32(out, crc32(out.data() + payloadStart, out.size() - payloadStart));
+  return out;
+}
+
+Bitstream deserializeBitstream(const DeviceSpec& expected,
+                               std::vector<std::uint8_t> const& bytes) {
+  Reader r{bytes};
+  require(r.u32() == kMagic, ErrorKind::ConfigError, "bad bitstream magic");
+  require(r.u32() == kVersion, ErrorKind::ConfigError,
+          "unsupported bitstream version");
+  const auto rows = r.u32(), cols = r.u32(), tracks = r.u32();
+  const auto memBlocks = r.u32(), memBlockBits = r.u32();
+  require(rows == expected.rows && cols == expected.cols &&
+              tracks == expected.tracks && memBlocks == expected.memBlocks &&
+              memBlockBits == expected.memBlockBits,
+          ErrorKind::ConfigError,
+          "bitstream was generated for a different device geometry");
+  const auto logicBits = r.u64();
+  const auto bramBits = r.u64();
+  const std::size_t logicBytes = (logicBits + 7) / 8;
+  const std::size_t bramBytes = (bramBits + 7) / 8;
+  require(r.pos + logicBytes + bramBytes + 4 <= bytes.size(),
+          ErrorKind::ConfigError, "truncated bitstream payload");
+  const std::size_t payloadStart = r.pos;
+  Bitstream bs{common::BitVector(logicBits), common::BitVector(bramBits)};
+  bs.logic.importBytes(0, logicBits,
+                       {bytes.data() + r.pos, logicBytes});
+  r.pos += logicBytes;
+  bs.bram.importBytes(0, bramBits, {bytes.data() + r.pos, bramBytes});
+  r.pos += bramBytes;
+  const std::uint32_t stored = r.u32();
+  const std::uint32_t computed =
+      crc32(bytes.data() + payloadStart, logicBytes + bramBytes);
+  require(stored == computed, ErrorKind::ConfigError,
+          "bitstream CRC mismatch (corrupted configuration file)");
+  return bs;
+}
+
+void saveBitstream(const std::string& path, const DeviceSpec& spec,
+                   const Bitstream& bitstream) {
+  const auto bytes = serializeBitstream(spec, bitstream);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  require(f != nullptr, ErrorKind::ConfigError,
+          "cannot open '" + path + "' for writing");
+  require(std::fwrite(bytes.data(), 1, bytes.size(), f.get()) == bytes.size(),
+          ErrorKind::ConfigError, "short write to '" + path + "'");
+}
+
+Bitstream loadBitstream(const std::string& path, const DeviceSpec& expected) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  require(f != nullptr, ErrorKind::ConfigError,
+          "cannot open '" + path + "'");
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  require(size > 0, ErrorKind::ConfigError, "empty bitstream file");
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  require(std::fread(bytes.data(), 1, bytes.size(), f.get()) == bytes.size(),
+          ErrorKind::ConfigError, "short read from '" + path + "'");
+  return deserializeBitstream(expected, bytes);
+}
+
+}  // namespace fades::fpga

@@ -1,0 +1,264 @@
+// The generic SRAM-based FPGA device (paper Section 3), simulated.
+//
+// The device is entirely defined by its configuration memory: LUT truth
+// tables, CB multiplexer settings, PM pass transistors, pad and memory-block
+// setup (plane A) and memory-block contents (plane B). Execution semantics:
+//
+//  * Combinational logic: each used CB evaluates its 4-input LUT over the
+//    values carried by the routing fabric; connectivity is resolved from the
+//    ON pass transistors, exactly as the electrical structure would dictate.
+//  * Sequential logic: each used FF samples its D input (own LUT output or
+//    the BYP pin through InvertFFinMux) on the positive clock edge. GSR
+//    drives every FF to its PRMux/CLRMux-selected value; InvertLSRMux
+//    asserts one FF's local set/reset continuously until reconfigured back.
+//  * Memory blocks: synchronous read-first RAM whose storage bits ARE
+//    configuration-plane-B bits, which is precisely the property the paper
+//    exploits for run-time bit-flip injection into memories (Section 4.1).
+//  * Timing (optional mode): per-net delays derived from the routed path
+//    (segments, pass transistors, loads). A flip-flop whose data arrival
+//    exceeds the clock period captures the previous cycle's value, which is
+//    how emulated delay faults (Section 4.3) manifest as errors.
+//
+// The device deliberately exposes NO netlist-level structure: everything is
+// derived from configuration bits, so the fault injectors are forced to work
+// the way the paper's tool works - through reconfiguration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "fpga/layout.hpp"
+#include "fpga/spec.hpp"
+
+namespace fades::fpga {
+
+/// A full configuration image (the "configuration file" of Figure 1).
+struct Bitstream {
+  common::BitVector logic;
+  common::BitVector bram;
+};
+
+/// What a configuration bit means; produced by Device::decodeLogicBit and
+/// used by the connectivity rebuild and by diagnostic tooling.
+struct BitMeaning {
+  enum class Kind : std::uint8_t {
+    LutTable,
+    CbField,
+    CbInConn,
+    CbOutConn,
+    PmSwitch,
+    PadField,
+    PadConn,
+    BramField,
+    BramPinConn,
+  };
+  Kind kind{};
+  // Transistor bits connect two routing nodes:
+  std::uint32_t nodeA = 0;
+  std::uint32_t nodeB = 0;
+  bool isTransistor = false;
+};
+
+/// Host-side checkpoint of dynamic device state (FF states, memory contents,
+/// output latches, cycle counter, pad stimuli). Used by the campaign engine
+/// to replay the workload from the injection instant; it does not model a
+/// hardware interface and carries no reconfiguration cost.
+struct DeviceState {
+  std::vector<std::uint8_t> ffState;
+  common::BitVector bramContent;
+  std::vector<std::uint32_t> bramLatch;
+  std::vector<std::uint8_t> padInput;
+  std::uint64_t cycle = 0;
+};
+
+/// How multi-driver (shorted) nets behave. Normal designs treat a short as
+/// a configuration error; the permanent-fault extension (bridging faults)
+/// switches to a wired-AND/OR resolution, matching the dominant-logic model.
+enum class ShortPolicy : std::uint8_t { Error, WiredAnd, WiredOr };
+
+struct TimingReport {
+  double maxArrivalNs = 0.0;
+  unsigned lateFfCount = 0;
+  std::vector<CbCoord> lateFfs;
+};
+
+class Device {
+ public:
+  explicit Device(const DeviceSpec& spec);
+
+  const DeviceSpec& spec() const { return spec_; }
+  const ConfigLayout& layout() const { return layout_; }
+  const RoutingNodes& nodes() const { return nodes_; }
+
+  // --- raw configuration access (metering lives in bits::ConfigPort) -------
+  bool logicBit(std::size_t addr) const { return logicCfg_.get(addr); }
+  void setLogicBit(std::size_t addr, bool v);
+  bool bramBit(std::size_t addr) const { return bramCfg_.get(addr); }
+  void setBramBit(std::size_t addr, bool v) { bramCfg_.set(addr, v); }
+
+  std::vector<std::uint8_t> readLogicFrame(FrameAddr f) const;
+  void writeLogicFrame(FrameAddr f, std::span<const std::uint8_t> bytes);
+  std::vector<std::uint8_t> readBramFrame(unsigned block, unsigned minor) const;
+  void writeBramFrame(unsigned block, unsigned minor,
+                      std::span<const std::uint8_t> bytes);
+  /// Capture plane: live FF state of one CB column (read-only).
+  std::vector<std::uint8_t> readCaptureFrame(unsigned col) const;
+
+  void writeFullBitstream(const Bitstream& bs);
+  Bitstream readbackBitstream() const;
+
+  /// Pulse the Global Set/Reset line: every FF assumes its SrMode value.
+  void pulseGsr();
+
+  BitMeaning decodeLogicBit(std::size_t addr) const;
+
+  // --- execution -------------------------------------------------------------
+  void setPadInput(unsigned pad, bool v);
+  bool padValue(unsigned pad) const;  // settled value seen at an output pad
+  /// Propagate combinational logic (also recompiles if configuration
+  /// changed since the last evaluation).
+  void settle();
+  /// One positive clock edge, then settle.
+  void step();
+  std::uint64_t cycle() const { return cycle_; }
+
+  bool ffState(CbCoord cb) const { return ffState_[cbIndex(cb)] != 0; }
+  /// Raw memory-block word as currently stored (row-major at given width).
+  std::uint64_t bramWord(unsigned block, unsigned width, std::size_t row) const;
+
+  DeviceState captureState() const;
+  void restoreState(const DeviceState& s);
+
+  // --- timing ------------------------------------------------------------------
+  void setTimingEnabled(bool on);
+  bool timingEnabled() const { return timingEnabled_; }
+  const TimingReport& timingReport();
+
+  void setShortPolicy(ShortPolicy p) {
+    shortPolicy_ = p;
+    topoDirty_ = true;
+  }
+
+  // --- introspection (tests / diagnostics) ----------------------------------
+  unsigned usedLutCount();
+  unsigned usedFfCount();
+  /// Net-level wire delay (ns) from the driver of the component containing
+  /// `sinkNode` to that sink; 0 if unrouted. Requires timing mode.
+  double sinkDelayNs(std::uint32_t sinkNode);
+
+ private:
+  // ----- compiled model ------------------------------------------------------
+  struct LutEntry {
+    std::uint16_t table = 0;
+    std::uint32_t in[4] = {0, 0, 0, 0};  // value indices
+    std::uint32_t cbIdx = 0;
+    std::uint32_t val = 0;  // output value index
+  };
+  struct JoinEntry {
+    std::vector<std::uint32_t> drivers;
+    std::uint32_t val = 0;
+    bool wiredOr = false;
+  };
+  struct Step {
+    enum class Kind : std::uint8_t { Lut, Join } kind;
+    std::uint32_t index = 0;
+  };
+  struct FfEntry {
+    std::uint32_t cbIdx = 0;
+    std::uint32_t val = 0;        // output value index
+    std::uint32_t lutVal = 0;     // value index of own-CB LUT output (or 0)
+    std::uint32_t bypSrc = 0;     // value index feeding BYP pin
+    bool hasLut = false;
+    bool fromByp = false;  // FFIN_SRC
+    bool invByp = false;
+    bool srMode = false;
+    bool lsrForced = false;
+    bool late = false;  // timing: data arrival exceeds the clock period
+  };
+  struct BramEntry {
+    unsigned block = 0;
+    unsigned width = 1;
+    unsigned addrBits = 0;
+    std::uint32_t addrSrc[DeviceSpec::kBramAddrPins] = {};
+    std::uint32_t dinSrc[DeviceSpec::kBramDataPins] = {};
+    std::uint32_t weSrc = 0;
+    std::uint32_t doutValBase = 0;  // width consecutive value indices
+  };
+  struct PadOutEntry {
+    unsigned pad = 0;
+    std::uint32_t src = 0;
+  };
+  struct Compiled {
+    std::vector<LutEntry> luts;  // in topological order interleaved via steps
+    std::vector<JoinEntry> joins;
+    std::vector<Step> steps;
+    std::vector<FfEntry> ffs;
+    std::vector<BramEntry> brams;
+    std::vector<PadOutEntry> padOuts;
+    std::vector<std::uint32_t> padInVal;   // per pad: value index or 0
+    std::vector<std::uint32_t> lutOfCb;    // cbIdx -> lut entry index+1, 0=none
+    std::vector<std::uint32_t> ffOfCb;     // cbIdx -> ff entry index+1, 0=none
+    std::uint32_t valueCount = 1;          // index 0 = constant 0
+  };
+
+  std::uint32_t cbIndex(CbCoord cb) const {
+    return static_cast<std::uint32_t>(cb.x) * spec_.rows + cb.y;
+  }
+  CbCoord cbFromIndex(std::uint32_t idx) const {
+    return CbCoord{static_cast<std::uint16_t>(idx / spec_.rows),
+                   static_cast<std::uint16_t>(idx % spec_.rows)};
+  }
+
+  void ensureCompiled();
+  void rebuildTopology();   // connectivity + compiled model
+  void refreshMisc();       // mux fields only
+  void refreshLutTables();  // LUT contents only
+  void computeTiming();
+  void refreshLevel0();
+  void runSteps();
+
+  std::uint32_t find(std::uint32_t node) const;  // union-find lookup
+  void unite(std::uint32_t a, std::uint32_t b);
+  std::uint32_t sourceOfComponent(std::uint32_t pinNode);
+
+  bool cbField(CbCoord cb, CbField f) const {
+    return logicCfg_.get(layout_.cbFieldBit(cb, f));
+  }
+
+  DeviceSpec spec_;
+  ConfigLayout layout_;
+  RoutingNodes nodes_;
+
+  common::BitVector logicCfg_;
+  common::BitVector bramCfg_;
+
+  // dynamic state
+  std::vector<std::uint8_t> ffState_;       // per CB
+  std::vector<std::uint32_t> bramLatch_;    // per block (read port register)
+  std::vector<std::uint8_t> padInput_;      // per pad
+  std::uint64_t cycle_ = 0;
+
+  // compiled model + dirtiness
+  Compiled compiled_;
+  std::vector<std::uint8_t> values_;
+  std::vector<std::uint8_t> prevD_;  // per ff entry; timing-mode stale values
+  bool topoDirty_ = true;
+  bool miscDirty_ = false;
+  bool lutDirty_ = false;
+  bool timingDirty_ = true;
+  bool timingEnabled_ = false;
+  ShortPolicy shortPolicy_ = ShortPolicy::Error;
+  TimingReport timingReport_;
+
+  // connectivity scratch (valid after rebuildTopology)
+  mutable std::vector<std::uint32_t> parent_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+  std::vector<std::uint32_t> compSource_;  // component root -> value index
+  std::vector<double> sinkDelay_;          // per node, ns (timing mode)
+};
+
+}  // namespace fades::fpga

@@ -1,0 +1,127 @@
+// Device specification for the generic FPGA architecture of the paper's
+// Section 3: a grid of configurable blocks (4-input LUT + D flip-flop +
+// configuration multiplexers), programmable matrices (PM) holding pass
+// transistors, embedded memory blocks, perimeter pads, and global/local
+// set-reset lines. Timing parameters follow the Virtex numbers quoted in
+// Section 4.3 (LUT delay 0.29-0.8 ns, fan-out increment 0.001-0.018 ns).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fades::fpga {
+
+struct DeviceSpec {
+  std::string name = "generic";
+
+  // --- geometry -----------------------------------------------------------
+  unsigned rows = 16;    // CB rows
+  unsigned cols = 16;    // CB columns
+  unsigned tracks = 16;  // routing tracks per channel (horizontal & vertical)
+
+  // --- embedded memory ------------------------------------------------------
+  unsigned memBlocks = 4;        // number of embedded memory blocks
+  unsigned memBlockBits = 4096;  // storage bits per block
+  unsigned memMaxWidth = 16;     // widest configurable aspect ratio
+
+  // --- configuration plane ---------------------------------------------------
+  unsigned frameBytes = 64;  // partial-reconfiguration granularity
+
+  // --- timing model ------------------------------------------------------------
+  double clockPeriodNs = 40.0;      // 25 MHz system clock
+  double lutDelayNs = 0.6;          // CB function-generator delay
+  double clkToQNs = 0.5;            // FF clock-to-output
+  double ffSetupNs = 0.4;           // FF setup time
+  double segmentDelayNs = 0.30;     // per routing segment traversed
+  double passTransistorNs = 0.10;   // per ON pass transistor along the path
+  double fanoutLoadNs = 0.012;      // added delay per extra load on a line
+  double padDelayNs = 0.8;          // IOB delay
+
+  unsigned padCount() const { return 2 * rows; }  // west + east edges
+  unsigned cbCount() const { return rows * cols; }
+  unsigned lutCount() const { return cbCount(); }
+  unsigned ffCount() const { return cbCount(); }
+
+  /// Memory-block geometry: pins are ADDR[0..11] DIN[0..15] DOUT[0..15] WE.
+  static constexpr unsigned kBramAddrPins = 12;
+  static constexpr unsigned kBramDataPins = 16;
+  static constexpr unsigned kBramPins = kBramAddrPins + 2 * kBramDataPins + 1;
+  static constexpr unsigned kBramPinsPerRow = 6;
+  static constexpr unsigned kBramRowSpan =
+      (kBramPins + kBramPinsPerRow - 1) / kBramPinsPerRow;  // rows per block
+
+  /// A Virtex-1000-class device: 24576 LUTs / 24576 FFs (paper Section 7.1)
+  /// and 32 embedded memory blocks of 4 Kbit.
+  static DeviceSpec virtex1000Like() {
+    DeviceSpec s;
+    s.name = "virtex1000-like";
+    s.rows = 128;
+    s.cols = 192;
+    s.tracks = 16;
+    s.memBlocks = 32;
+    s.memBlockBits = 4096;
+    return s;
+  }
+
+  /// A small device for unit tests: fast to route, fast to emulate.
+  static DeviceSpec small() {
+    DeviceSpec s;
+    s.name = "small";
+    s.rows = 12;
+    s.cols = 12;
+    s.tracks = 12;
+    s.memBlocks = 2;
+    s.memBlockBits = 2048;
+    return s;
+  }
+
+  /// Mid-size device for integration tests of medium circuits.
+  static DeviceSpec medium() {
+    DeviceSpec s;
+    s.name = "medium";
+    s.rows = 48;
+    s.cols = 64;
+    s.tracks = 16;
+    s.memBlocks = 8;
+    s.memBlockBits = 4096;
+    return s;
+  }
+};
+
+/// Coordinates of a configurable block.
+struct CbCoord {
+  std::uint16_t x = 0;
+  std::uint16_t y = 0;
+  friend bool operator==(CbCoord, CbCoord) = default;
+};
+
+/// Coordinates of a programmable matrix (PM). PMs sit at tile corners, so
+/// the PM grid is (cols+1) x (rows+1).
+struct PmCoord {
+  std::uint16_t x = 0;
+  std::uint16_t y = 0;
+  friend bool operator==(PmCoord, PmCoord) = default;
+};
+
+/// Configurable-block input pins. LUT inputs have no inverting multiplexer
+/// (paper Section 4.2); the bypass input feeding the FF does (InvertFFinMux).
+enum class CbInPin : std::uint8_t { I0 = 0, I1 = 1, I2 = 2, I3 = 3, Byp = 4 };
+constexpr unsigned kCbInPins = 5;
+
+enum class CbOutPin : std::uint8_t { Lut = 0, Ff = 1 };
+constexpr unsigned kCbOutPins = 2;
+
+/// Pass-transistor positions inside a PM, per track. Letters refer to the
+/// four incident segments: W = HSeg(x-1,y), E = HSeg(x,y), S = VSeg(x,y-1),
+/// N = VSeg(x,y).
+enum class PmSwitch : std::uint8_t { WE = 0, NS = 1, WN = 2, WS = 3, EN = 4, ES = 5 };
+constexpr unsigned kPmSwitches = 6;
+
+}  // namespace fades::fpga
+
+template <>
+struct std::hash<fades::fpga::CbCoord> {
+  std::size_t operator()(fades::fpga::CbCoord c) const noexcept {
+    return (static_cast<std::size_t>(c.x) << 16) | c.y;
+  }
+};

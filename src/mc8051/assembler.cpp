@@ -1,0 +1,516 @@
+#include "mc8051/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "mc8051/isa.hpp"
+
+namespace fades::mc8051 {
+
+using common::ErrorKind;
+using common::raise;
+using common::require;
+
+namespace {
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+struct Operand {
+  enum class Kind { Immediate, Direct, Register, Indirect, A, Symbol, Here };
+  Kind kind{};
+  std::int64_t value = 0;      // immediate / direct value when numeric
+  unsigned reg = 0;            // Rn / @Ri index
+  std::string symbol;          // for label or .equ references
+  bool immediate = false;      // '#' prefix present
+};
+
+struct Statement {
+  int line = 0;
+  std::string label;
+  std::string mnemonic;  // upper-case
+  std::vector<Operand> operands;
+};
+
+std::optional<std::int64_t> parseNumber(const std::string& tok) {
+  if (tok.empty()) return std::nullopt;
+  std::size_t pos = 0;
+  int base = 10;
+  std::string body = tok;
+  if (body.size() > 2 && body[0] == '0' && (body[1] == 'x' || body[1] == 'X')) {
+    base = 16;
+    body = body.substr(2);
+  } else if (body.size() > 1 && (body.back() == 'h' || body.back() == 'H')) {
+    base = 16;
+    body = body.substr(0, body.size() - 1);
+  }
+  try {
+    const std::int64_t v = std::stoll(body, &pos, base);
+    if (pos != body.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint8_t> sfrByName(const std::string& name) {
+  const std::string u = upper(name);
+  if (u == "A" || u == "ACC") return SFR_ACC;
+  if (u == "B") return SFR_B;
+  if (u == "PSW") return SFR_PSW;
+  if (u == "SP") return SFR_SP;
+  if (u == "DPL") return SFR_DPL;
+  if (u == "DPH") return SFR_DPH;
+  if (u == "P0") return SFR_P0;
+  if (u == "P1") return SFR_P1;
+  return std::nullopt;
+}
+
+Operand parseOperand(const std::string& raw, int line) {
+  Operand op;
+  std::string tok = trim(raw);
+  require(!tok.empty(), ErrorKind::WorkloadError,
+          "empty operand at line " + std::to_string(line));
+  if (tok == "$") {
+    op.kind = Operand::Kind::Here;
+    return op;
+  }
+  if (tok[0] == '#') {
+    op.immediate = true;
+    tok = trim(tok.substr(1));
+  }
+  if (tok.size() >= 2 && (tok[0] == '@' || tok[0] == '@')) {
+    const std::string r = upper(trim(tok.substr(1)));
+    require(r == "R0" || r == "R1", ErrorKind::WorkloadError,
+            "only @R0/@R1 are valid at line " + std::to_string(line));
+    op.kind = Operand::Kind::Indirect;
+    op.reg = (r == "R1") ? 1 : 0;
+    return op;
+  }
+  const std::string u = upper(tok);
+  if (u.size() == 2 && u[0] == 'R' && u[1] >= '0' && u[1] <= '7' &&
+      !op.immediate) {
+    op.kind = Operand::Kind::Register;
+    op.reg = static_cast<unsigned>(u[1] - '0');
+    return op;
+  }
+  if (u == "A" && !op.immediate) {
+    op.kind = Operand::Kind::A;
+    return op;
+  }
+  if (const auto num = parseNumber(tok)) {
+    op.kind = op.immediate ? Operand::Kind::Immediate : Operand::Kind::Direct;
+    op.value = *num;
+    return op;
+  }
+  if (const auto sfr = sfrByName(tok); sfr && !op.immediate) {
+    op.kind = Operand::Kind::Direct;
+    op.value = *sfr;
+    return op;
+  }
+  op.kind = Operand::Kind::Symbol;
+  op.symbol = tok;
+  return op;
+}
+
+std::vector<Statement> parse(const std::string& source) {
+  std::vector<Statement> out;
+  std::istringstream in(source);
+  std::string lineText;
+  int lineNo = 0;
+  while (std::getline(in, lineText)) {
+    ++lineNo;
+    if (const auto sc = lineText.find(';'); sc != std::string::npos) {
+      lineText = lineText.substr(0, sc);
+    }
+    std::string text = trim(lineText);
+    if (text.empty()) continue;
+
+    Statement st;
+    st.line = lineNo;
+    if (const auto colon = text.find(':'); colon != std::string::npos) {
+      st.label = trim(text.substr(0, colon));
+      text = trim(text.substr(colon + 1));
+    }
+    if (!text.empty()) {
+      const auto sp = text.find_first_of(" \t");
+      st.mnemonic = upper(sp == std::string::npos ? text : text.substr(0, sp));
+      if (sp != std::string::npos) {
+        const std::string args = text.substr(sp + 1);
+        std::string cur;
+        for (char ch : args) {
+          if (ch == ',') {
+            st.operands.push_back(parseOperand(cur, lineNo));
+            cur.clear();
+          } else {
+            cur += ch;
+          }
+        }
+        if (!trim(cur).empty()) st.operands.push_back(parseOperand(cur, lineNo));
+      }
+    }
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+struct Emitter {
+  std::vector<std::uint8_t> bytes;
+  std::map<std::string, std::uint16_t> symbols;
+  bool resolvePass = false;
+
+  struct Fixup {};
+
+  void at(std::size_t addr) {
+    if (bytes.size() < addr) bytes.resize(addr, 0);
+  }
+  void emit(std::uint8_t b) { bytes.push_back(b); }
+  std::uint16_t pc() const { return static_cast<std::uint16_t>(bytes.size()); }
+};
+
+}  // namespace
+
+std::uint16_t AssembledProgram::symbol(const std::string& name) const {
+  for (const auto& [n, v] : symbols) {
+    if (n == name) return v;
+  }
+  raise(ErrorKind::WorkloadError, "unknown symbol '" + name + "'");
+}
+
+AssembledProgram assemble(const std::string& source) {
+  const auto statements = parse(source);
+
+  std::map<std::string, std::uint16_t> symbols;
+
+  // Resolve an operand value given the symbol table (pass 2) or optimistic
+  // zero (pass 1 - only instruction LENGTH matters then, which is fixed).
+  auto valueOf = [&](const Operand& op, std::uint16_t here, int line,
+                     bool final) -> std::int64_t {
+    switch (op.kind) {
+      case Operand::Kind::Here:
+        return here;
+      case Operand::Kind::Symbol: {
+        const auto it = symbols.find(op.symbol);
+        if (it == symbols.end()) {
+          require(!final, ErrorKind::WorkloadError,
+                  "undefined symbol '" + op.symbol + "' at line " +
+                      std::to_string(line));
+          return 0;
+        }
+        return it->second;
+      }
+      default:
+        return op.value;
+    }
+  };
+
+  auto assemblePass = [&](bool final) -> std::vector<std::uint8_t> {
+    std::vector<std::uint8_t> bytes;
+    auto emit = [&](std::int64_t v) {
+      require(!final || (v >= -128 && v <= 255), ErrorKind::WorkloadError,
+              "byte out of range");
+      bytes.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    };
+    auto rel = [&](std::int64_t target, int line) {
+      const std::int64_t off =
+          target - (static_cast<std::int64_t>(bytes.size()) + 1);
+      require(!final || (off >= -128 && off <= 127), ErrorKind::WorkloadError,
+              "branch out of range at line " + std::to_string(line));
+      bytes.push_back(static_cast<std::uint8_t>(off & 0xFF));
+    };
+
+    for (const auto& st : statements) {
+      const auto pc = static_cast<std::uint16_t>(bytes.size());
+      if (!st.label.empty() && st.mnemonic != ".EQU") {
+        if (!final) symbols[st.label] = pc;
+      }
+      if (st.mnemonic.empty()) continue;
+      const auto& ops = st.operands;
+      auto val = [&](unsigned i) { return valueOf(ops[i], pc, st.line, final); };
+      auto need = [&](std::size_t n) {
+        require(ops.size() == n, ErrorKind::WorkloadError,
+                "wrong operand count for " + st.mnemonic + " at line " +
+                    std::to_string(st.line));
+      };
+      auto badOperands = [&]() -> void {
+        raise(ErrorKind::WorkloadError,
+              "unsupported operands for " + st.mnemonic + " at line " +
+                  std::to_string(st.line));
+      };
+      auto kind = [&](unsigned i) { return ops[i].kind; };
+      auto isDirect = [&](unsigned i) {
+        return kind(i) == Operand::Kind::Direct ||
+               (kind(i) == Operand::Kind::Symbol && !ops[i].immediate);
+      };
+      auto isImm = [&](unsigned i) { return ops[i].immediate; };
+
+      if (st.mnemonic == ".ORG") {
+        need(1);
+        const auto target = static_cast<std::size_t>(val(0));
+        require(target >= bytes.size(), ErrorKind::WorkloadError,
+                ".org going backwards at line " + std::to_string(st.line));
+        bytes.resize(target, 0);
+        continue;
+      }
+      if (st.mnemonic == ".EQU") {
+        need(1);
+        require(!st.label.empty(), ErrorKind::WorkloadError,
+                ".equ without a label at line " + std::to_string(st.line));
+        if (!final) symbols[st.label] = static_cast<std::uint16_t>(val(0));
+        continue;
+      }
+      if (st.mnemonic == ".DB") {
+        for (unsigned i = 0; i < ops.size(); ++i) emit(val(i));
+        continue;
+      }
+
+      if (st.mnemonic == "NOP") {
+        need(0);
+        emit(OP_NOP);
+      } else if (st.mnemonic == "MOV") {
+        need(2);
+        if (kind(0) == Operand::Kind::A && isImm(1)) {
+          emit(OP_MOV_A_IMM);
+          emit(val(1));
+        } else if (kind(0) == Operand::Kind::A && isDirect(1)) {
+          emit(OP_MOV_A_DIR);
+          emit(val(1));
+        } else if (kind(0) == Operand::Kind::A &&
+                   kind(1) == Operand::Kind::Register) {
+          emit(OP_MOV_A_RN + ops[1].reg);
+        } else if (kind(0) == Operand::Kind::A &&
+                   kind(1) == Operand::Kind::Indirect) {
+          emit(OP_MOV_A_IND + ops[1].reg);
+        } else if (kind(0) == Operand::Kind::Register && isImm(1)) {
+          emit(OP_MOV_RN_IMM + ops[0].reg);
+          emit(val(1));
+        } else if (kind(0) == Operand::Kind::Register &&
+                   kind(1) == Operand::Kind::A) {
+          emit(OP_MOV_RN_A + ops[0].reg);
+        } else if (kind(0) == Operand::Kind::Register && isDirect(1)) {
+          emit(OP_MOV_RN_DIR + ops[0].reg);
+          emit(val(1));
+        } else if (kind(0) == Operand::Kind::Indirect && isImm(1)) {
+          emit(OP_MOV_IND_IMM + ops[0].reg);
+          emit(val(1));
+        } else if (kind(0) == Operand::Kind::Indirect &&
+                   kind(1) == Operand::Kind::A) {
+          emit(OP_MOV_IND_A + ops[0].reg);
+        } else if (isDirect(0) && kind(1) == Operand::Kind::A) {
+          emit(OP_MOV_DIR_A);
+          emit(val(0));
+        } else if (isDirect(0) && isImm(1)) {
+          emit(OP_MOV_DIR_IMM);
+          emit(val(0));
+          emit(val(1));
+        } else if (isDirect(0) && kind(1) == Operand::Kind::Register) {
+          emit(OP_MOV_DIR_RN + ops[1].reg);
+          emit(val(0));
+        } else if (isDirect(0) && isDirect(1)) {
+          emit(OP_MOV_DIR_DIR);
+          emit(val(1));  // src first (MCS-51 encoding quirk)
+          emit(val(0));
+        } else {
+          badOperands();
+        }
+      } else if (st.mnemonic == "ADD" || st.mnemonic == "ADDC" ||
+                 st.mnemonic == "SUBB") {
+        need(2);
+        require(kind(0) == Operand::Kind::A, ErrorKind::WorkloadError,
+                st.mnemonic + " destination must be A at line " +
+                    std::to_string(st.line));
+        const std::uint8_t base = st.mnemonic == "ADD"    ? OP_ADD_IMM
+                                  : st.mnemonic == "ADDC" ? OP_ADDC_IMM
+                                                          : OP_SUBB_IMM;
+        if (isImm(1)) {
+          emit(base);
+          emit(val(1));
+        } else if (kind(1) == Operand::Kind::Indirect) {
+          emit(base + 2 + ops[1].reg);
+        } else if (kind(1) == Operand::Kind::Register) {
+          emit(base + 4 + ops[1].reg);
+        } else if (isDirect(1)) {
+          emit(base + 1);
+          emit(val(1));
+        } else {
+          badOperands();
+        }
+      } else if (st.mnemonic == "ANL" || st.mnemonic == "ORL" ||
+                 st.mnemonic == "XRL") {
+        need(2);
+        require(kind(0) == Operand::Kind::A, ErrorKind::WorkloadError,
+                st.mnemonic + " destination must be A at line " +
+                    std::to_string(st.line));
+        const std::uint8_t base = st.mnemonic == "ORL"   ? OP_ORL_A_IMM
+                                  : st.mnemonic == "ANL" ? OP_ANL_A_IMM
+                                                         : OP_XRL_A_IMM;
+        if (isImm(1)) {
+          emit(base);
+          emit(val(1));
+        } else if (kind(1) == Operand::Kind::Register) {
+          emit(base + 4 + ops[1].reg);
+        } else if (isDirect(1)) {
+          emit(base + 1);
+          emit(val(1));
+        } else {
+          badOperands();
+        }
+      } else if (st.mnemonic == "INC" || st.mnemonic == "DEC") {
+        need(1);
+        const std::uint8_t base =
+            st.mnemonic == "INC" ? OP_INC_A : OP_DEC_A;
+        if (kind(0) == Operand::Kind::A) {
+          emit(base);
+        } else if (kind(0) == Operand::Kind::Indirect) {
+          emit(base + 2 + ops[0].reg);
+        } else if (kind(0) == Operand::Kind::Register) {
+          emit(base + 4 + ops[0].reg);
+        } else if (isDirect(0)) {
+          emit(base + 1);
+          emit(val(0));
+        } else {
+          badOperands();
+        }
+      } else if (st.mnemonic == "CLR") {
+        need(1);
+        if (kind(0) == Operand::Kind::A) {
+          emit(OP_CLR_A);
+        } else if (upper(ops[0].symbol) == "C") {
+          emit(OP_CLR_C);
+        } else {
+          badOperands();
+        }
+      } else if (st.mnemonic == "CPL") {
+        need(1);
+        if (kind(0) == Operand::Kind::A) {
+          emit(OP_CPL_A);
+        } else if (upper(ops[0].symbol) == "C") {
+          emit(OP_CPL_C);
+        } else {
+          badOperands();
+        }
+      } else if (st.mnemonic == "SETB") {
+        need(1);
+        require(upper(ops[0].symbol) == "C", ErrorKind::WorkloadError,
+                "only SETB C supported at line " + std::to_string(st.line));
+        emit(OP_SETB_C);
+      } else if (st.mnemonic == "MUL" || st.mnemonic == "DIV") {
+        need(1);
+        require(upper(ops[0].symbol) == "AB", ErrorKind::WorkloadError,
+                st.mnemonic + " operand must be AB at line " +
+                    std::to_string(st.line));
+        emit(st.mnemonic == "MUL" ? OP_MUL_AB : OP_DIV_AB);
+      } else if (st.mnemonic == "RL") {
+        need(1);
+        emit(OP_RL_A);
+      } else if (st.mnemonic == "RR") {
+        need(1);
+        emit(OP_RR_A);
+      } else if (st.mnemonic == "RLC") {
+        need(1);
+        emit(OP_RLC_A);
+      } else if (st.mnemonic == "RRC") {
+        need(1);
+        emit(OP_RRC_A);
+      } else if (st.mnemonic == "XCH") {
+        need(2);
+        require(kind(0) == Operand::Kind::A, ErrorKind::WorkloadError,
+                "XCH first operand must be A at line " +
+                    std::to_string(st.line));
+        if (kind(1) == Operand::Kind::Register) {
+          emit(OP_XCH_A_RN + ops[1].reg);
+        } else if (isDirect(1)) {
+          emit(OP_XCH_A_DIR);
+          emit(val(1));
+        } else {
+          badOperands();
+        }
+      } else if (st.mnemonic == "PUSH" || st.mnemonic == "POP") {
+        need(1);
+        require(isDirect(0), ErrorKind::WorkloadError,
+                st.mnemonic + " needs a direct address at line " +
+                    std::to_string(st.line));
+        emit(st.mnemonic == "PUSH" ? OP_PUSH : OP_POP);
+        emit(val(0));
+      } else if (st.mnemonic == "SJMP" || st.mnemonic == "JZ" ||
+                 st.mnemonic == "JNZ" || st.mnemonic == "JC" ||
+                 st.mnemonic == "JNC") {
+        need(1);
+        const std::uint8_t op = st.mnemonic == "SJMP" ? OP_SJMP
+                                : st.mnemonic == "JZ" ? OP_JZ
+                                : st.mnemonic == "JNZ" ? OP_JNZ
+                                : st.mnemonic == "JC"  ? OP_JC
+                                                       : OP_JNC;
+        emit(op);
+        rel(val(0), st.line);
+      } else if (st.mnemonic == "LJMP" || st.mnemonic == "LCALL") {
+        need(1);
+        emit(st.mnemonic == "LJMP" ? OP_LJMP : OP_LCALL);
+        const auto target = static_cast<std::uint16_t>(val(0));
+        emit(target >> 8);
+        emit(target & 0xFF);
+      } else if (st.mnemonic == "RET") {
+        need(0);
+        emit(OP_RET);
+      } else if (st.mnemonic == "CJNE") {
+        need(3);
+        if (kind(0) == Operand::Kind::A && isImm(1)) {
+          emit(OP_CJNE_A_IMM);
+          emit(val(1));
+        } else if (kind(0) == Operand::Kind::A && isDirect(1)) {
+          emit(OP_CJNE_A_DIR);
+          emit(val(1));
+        } else if (kind(0) == Operand::Kind::Register && isImm(1)) {
+          emit(OP_CJNE_RN_IMM + ops[0].reg);
+          emit(val(1));
+        } else if (kind(0) == Operand::Kind::Indirect && isImm(1)) {
+          emit(OP_CJNE_IND_IMM + ops[0].reg);
+          emit(val(1));
+        } else {
+          badOperands();
+        }
+        rel(val(2), st.line);
+      } else if (st.mnemonic == "DJNZ") {
+        need(2);
+        if (kind(0) == Operand::Kind::Register) {
+          emit(OP_DJNZ_RN + ops[0].reg);
+        } else if (isDirect(0)) {
+          emit(OP_DJNZ_DIR);
+          emit(val(0));
+        } else {
+          badOperands();
+        }
+        rel(val(1), st.line);
+      } else {
+        raise(ErrorKind::WorkloadError,
+              "unknown mnemonic '" + st.mnemonic + "' at line " +
+                  std::to_string(st.line));
+      }
+    }
+    return bytes;
+  };
+
+  (void)assemblePass(false);       // pass 1: collect symbols
+  auto bytes = assemblePass(true);  // pass 2: final encode
+
+  AssembledProgram out;
+  out.bytes = std::move(bytes);
+  for (const auto& [name, value] : symbols) out.symbols.emplace_back(name, value);
+  return out;
+}
+
+}  // namespace fades::mc8051

@@ -1,0 +1,38 @@
+// Two-pass text assembler for the MC8051 subset.
+//
+// Syntax (case-insensitive mnemonics, ';' comments, one statement per line):
+//
+//   start:  MOV  A, #0x10      ; immediate
+//           MOV  R0, #data     ; symbols usable as constants
+//           ADD  A, @R0        ; indirect
+//           MOV  0x30, A       ; direct address
+//           DJNZ R2, start     ; relative branches take label targets
+//           LCALL subroutine
+//           SJMP  $            ; '$' = this instruction (idle loop)
+//   data:   .equ 0x30          ; constant definition
+//           .org 0x40          ; set location counter
+//           .db  1, 2, 0x33    ; raw bytes
+//
+// SFR names (A/ACC, B, PSW, SP, DPL, DPH, P0, P1) are accepted wherever a
+// direct address is expected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fades::mc8051 {
+
+struct AssembledProgram {
+  std::vector<std::uint8_t> bytes;
+  /// Label name/value pairs for test introspection.
+  std::vector<std::pair<std::string, std::uint16_t>> symbols;
+
+  std::uint16_t symbol(const std::string& name) const;
+};
+
+/// Assemble source text; throws FadesError(WorkloadError) with a line number
+/// on syntax errors, unknown mnemonics or out-of-range branches.
+AssembledProgram assemble(const std::string& source);
+
+}  // namespace fades::mc8051

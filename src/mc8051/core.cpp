@@ -1,0 +1,560 @@
+#include "mc8051/core.hpp"
+
+#include "common/error.hpp"
+#include "mc8051/isa.hpp"
+#include "rtl/builder.hpp"
+
+namespace fades::mc8051 {
+
+using netlist::NetId;
+using netlist::Unit;
+using rtl::Builder;
+using rtl::Bus;
+using rtl::Register;
+
+namespace {
+
+// Control FSM states.
+constexpr std::uint64_t S_FETCH = 0;
+constexpr std::uint64_t S_DECODE = 1;
+constexpr std::uint64_t S_OP1 = 2;
+constexpr std::uint64_t S_OP2 = 3;
+constexpr std::uint64_t S_RDRI = 4;
+constexpr std::uint64_t S_RD = 5;
+constexpr std::uint64_t S_EXEC = 6;
+constexpr std::uint64_t S_WR2 = 7;
+constexpr std::uint64_t S_RET1 = 8;
+constexpr std::uint64_t S_RET2 = 9;
+constexpr std::uint64_t S_RET3 = 10;
+
+}  // namespace
+
+netlist::Netlist buildCore(const std::vector<std::uint8_t>& program,
+                           const CoreConfig& config) {
+  common::require(program.size() <= (std::size_t{1} << config.romAddrBits),
+                  common::ErrorKind::WorkloadError,
+                  "program does not fit in ROM");
+  Builder b;
+
+  // ----------------------------------------------------------- registers --
+  b.setUnit(Unit::Registers);
+  Register acc = b.makeRegister("acc", 8, 0);
+  Register breg = b.makeRegister("b", 8, 0);
+  Register sp = b.makeRegister("sp", 8, 7);
+  Register dpl = b.makeRegister("dpl", 8, 0);
+  Register dph = b.makeRegister("dph", 8, 0);
+  Register p0 = b.makeRegister("p0", 8, 0);
+  Register p1 = b.makeRegister("p1", 8, 0);
+  // PSW stored bits: CY, AC, F0, RS1, RS0, OV (P computed from ACC).
+  Register cy = b.makeRegister("psw_cy", 1, 0);
+  Register ac = b.makeRegister("psw_ac", 1, 0);
+  Register f0 = b.makeRegister("psw_f0", 1, 0);
+  Register rs1 = b.makeRegister("psw_rs1", 1, 0);
+  Register rs0 = b.makeRegister("psw_rs0", 1, 0);
+  Register ov = b.makeRegister("psw_ov", 1, 0);
+
+  b.setUnit(Unit::Fsm);
+  Register state = b.makeRegister("state", 4, S_FETCH);
+  Register ir = b.makeRegister("ir", 8, 0);
+  Register op1 = b.makeRegister("op1", 8, 0);
+  Register op2 = b.makeRegister("op2", 8, 0);
+
+  b.setUnit(Unit::MemCtrl);
+  Register pc = b.makeRegister("pc", 16, 0);
+  Register riAddr = b.makeRegister("ri_addr", 7, 0);
+  Register tmp = b.makeRegister("tmp", 8, 0);
+
+  // --------------------------------------------------------- state decode --
+  b.setUnit(Unit::Fsm);
+  const NetId inFetch = b.eqConst(state.q, S_FETCH);
+  const NetId inDecode = b.eqConst(state.q, S_DECODE);
+  const NetId inOp1 = b.eqConst(state.q, S_OP1);
+  const NetId inOp2 = b.eqConst(state.q, S_OP2);
+  const NetId inRdri = b.eqConst(state.q, S_RDRI);
+  const NetId inRd = b.eqConst(state.q, S_RD);
+  const NetId inExec = b.eqConst(state.q, S_EXEC);
+  const NetId inWr2 = b.eqConst(state.q, S_WR2);
+  const NetId inRet1 = b.eqConst(state.q, S_RET1);
+  const NetId inRet2 = b.eqConst(state.q, S_RET2);
+  const NetId inRet3 = b.eqConst(state.q, S_RET3);
+
+  // ------------------------------------------------------------- memories --
+  // The ROM address depends only on PC, so the ROM is instantiated directly.
+  // The IRAM's address/data/write-enable depend on decode logic built later,
+  // so placeholder nets are allocated now and driven by buffers at the end.
+  b.setUnit(Unit::MemCtrl);
+  Bus romAddr = b.slice(pc.q, 0, config.romAddrBits);
+  b.setUnit(Unit::Ram);
+  std::vector<std::uint8_t> romInit = program;
+  romInit.resize(std::size_t{1} << config.romAddrBits, 0);
+  Bus romData = b.rom("rom", config.romAddrBits, 8, romAddr, romInit);
+
+  // IRAM needs address/din/we nets that depend on decode logic; allocate
+  // placeholder nets now and connect with buffers later.
+  Bus iramAddr, iramDin;
+  auto& nl = b.netlist();
+  for (int i = 0; i < 7; ++i) iramAddr.push_back(nl.addNet("iram_addr[" + std::to_string(i) + "]"));
+  for (int i = 0; i < 8; ++i) iramDin.push_back(nl.addNet("iram_din[" + std::to_string(i) + "]"));
+  NetId iramWe = nl.addNet("iram_we");
+  Bus iramData = b.ram("iram", 7, 8, iramAddr, iramDin, iramWe);
+
+  // ------------------------------------------------------ opcode decoding --
+  b.setUnit(Unit::Fsm);
+  // During DECODE the opcode is still on the ROM output; afterwards in IR.
+  Bus curOp = b.bMux(inDecode, romData, ir.q);
+
+  auto opIs = [&](std::uint8_t v) { return b.eqConst(curOp, v); };
+  auto famIs = [&](std::uint8_t v) {
+    return b.eqConst(b.slice(curOp, 3, 5), v >> 3);
+  };
+  auto indIs = [&](std::uint8_t v) {
+    return b.eqConst(b.slice(curOp, 1, 7), v >> 1);
+  };
+  auto orOf = [&](const std::vector<NetId>& xs) { return b.orAll(xs); };
+
+  const NetId isNop = opIs(OP_NOP);
+  const NetId isLjmp = opIs(OP_LJMP);
+  const NetId isLcall = opIs(OP_LCALL);
+  const NetId isRet = opIs(OP_RET);
+  const NetId isRrA = opIs(OP_RR_A);
+  const NetId isRlA = opIs(OP_RL_A);
+  const NetId isRrcA = opIs(OP_RRC_A);
+  const NetId isRlcA = opIs(OP_RLC_A);
+  const NetId isIncA = opIs(OP_INC_A);
+  const NetId isDecA = opIs(OP_DEC_A);
+  const NetId isClrA = opIs(OP_CLR_A);
+  const NetId isCplA = opIs(OP_CPL_A);
+  const NetId isClrC = opIs(OP_CLR_C);
+  const NetId isSetbC = opIs(OP_SETB_C);
+  const NetId isCplC = opIs(OP_CPL_C);
+  const NetId isIncDir = opIs(OP_INC_DIR);
+  const NetId isDecDir = opIs(OP_DEC_DIR);
+  const NetId isAddImm = opIs(OP_ADD_IMM);
+  const NetId isAddDir = opIs(OP_ADD_DIR);
+  const NetId isAddcImm = opIs(OP_ADDC_IMM);
+  const NetId isAddcDir = opIs(OP_ADDC_DIR);
+  const NetId isSubbImm = opIs(OP_SUBB_IMM);
+  const NetId isSubbDir = opIs(OP_SUBB_DIR);
+  const NetId isJc = opIs(OP_JC);
+  const NetId isJnc = opIs(OP_JNC);
+  const NetId isJz = opIs(OP_JZ);
+  const NetId isJnz = opIs(OP_JNZ);
+  const NetId isSjmp = opIs(OP_SJMP);
+  const NetId isOrlImm = opIs(OP_ORL_A_IMM);
+  const NetId isOrlDir = opIs(OP_ORL_A_DIR);
+  const NetId isAnlImm = opIs(OP_ANL_A_IMM);
+  const NetId isAnlDir = opIs(OP_ANL_A_DIR);
+  const NetId isXrlImm = opIs(OP_XRL_A_IMM);
+  const NetId isXrlDir = opIs(OP_XRL_A_DIR);
+  const NetId isMovAImm = opIs(OP_MOV_A_IMM);
+  const NetId isMovADir = opIs(OP_MOV_A_DIR);
+  const NetId isMovDirA = opIs(OP_MOV_DIR_A);
+  const NetId isMovDirImm = opIs(OP_MOV_DIR_IMM);
+  const NetId isMovDirDir = opIs(OP_MOV_DIR_DIR);
+  const NetId isCjneAImm = opIs(OP_CJNE_A_IMM);
+  const NetId isCjneADir = opIs(OP_CJNE_A_DIR);
+  const NetId isPush = opIs(OP_PUSH);
+  const NetId isPop = opIs(OP_POP);
+  const NetId isXchDir = opIs(OP_XCH_A_DIR);
+  const NetId isDjnzDir = opIs(OP_DJNZ_DIR);
+
+  const NetId isMulAB = opIs(OP_MUL_AB);
+  const NetId isDivAB = opIs(OP_DIV_AB);
+
+  const NetId isMovARn = famIs(OP_MOV_A_RN);
+  const NetId isMovRnA = famIs(OP_MOV_RN_A);
+  const NetId isMovRnImm = famIs(OP_MOV_RN_IMM);
+  const NetId isMovRnDir = famIs(OP_MOV_RN_DIR);
+  const NetId isMovDirRn = famIs(OP_MOV_DIR_RN);
+  const NetId isAddRn = famIs(OP_ADD_RN);
+  const NetId isAddcRn = famIs(OP_ADDC_RN);
+  const NetId isSubbRn = famIs(OP_SUBB_RN);
+  const NetId isAnlRn = famIs(OP_ANL_A_RN);
+  const NetId isOrlRn = famIs(OP_ORL_A_RN);
+  const NetId isXrlRn = famIs(OP_XRL_A_RN);
+  const NetId isIncRn = famIs(OP_INC_RN);
+  const NetId isDecRn = famIs(OP_DEC_RN);
+  const NetId isXchRn = famIs(OP_XCH_A_RN);
+  const NetId isDjnzRn = famIs(OP_DJNZ_RN);
+  const NetId isCjneRn = famIs(OP_CJNE_RN_IMM);
+
+  const NetId isMovAInd = indIs(OP_MOV_A_IND);
+  const NetId isMovIndA = indIs(OP_MOV_IND_A);
+  const NetId isMovIndImm = indIs(OP_MOV_IND_IMM);
+  const NetId isAddInd = indIs(OP_ADD_IND);
+  const NetId isAddcInd = indIs(OP_ADDC_IND);
+  const NetId isSubbInd = indIs(OP_SUBB_IND);
+  const NetId isIncInd = indIs(OP_INC_IND);
+  const NetId isDecInd = indIs(OP_DEC_IND);
+  const NetId isCjneInd = indIs(OP_CJNE_IND_IMM);
+
+  // ----------------------------------------------------- instruction sets --
+  const NetId len2 = orOf(
+      {isIncDir, isDecDir, isAddImm, isAddDir, isAddcImm, isAddcDir,
+       isSubbImm, isSubbDir, isJc, isJnc, isJz, isJnz, isSjmp, isOrlImm,
+       isOrlDir, isAnlImm, isAnlDir, isXrlImm, isXrlDir, isMovAImm,
+       isMovADir, isMovDirA, isPush, isPop, isXchDir, isMovRnImm, isMovRnDir,
+       isMovDirRn, isDjnzRn, isMovIndImm});
+  const NetId len3 =
+      orOf({isLjmp, isLcall, isMovDirImm, isMovDirDir, isCjneAImm,
+            isCjneADir, isDjnzDir, isCjneRn, isCjneInd});
+
+  const NetId isIndirect =
+      orOf({isMovAInd, isMovIndA, isMovIndImm, isAddInd, isAddcInd,
+            isSubbInd, isIncInd, isDecInd, isCjneInd});
+  const NetId indWrites = orOf({isMovIndA, isMovIndImm});
+  const NetId indNeedsRd = b.land(isIndirect, b.lnot(indWrites));
+
+  const NetId dirSrc =
+      orOf({isMovADir, isAddDir, isAddcDir, isSubbDir, isAnlDir, isOrlDir,
+            isXrlDir, isIncDir, isDecDir, isXchDir, isMovRnDir, isMovDirDir,
+            isCjneADir, isDjnzDir, isPush});
+  const NetId rnSrc =
+      orOf({isMovARn, isAddRn, isAddcRn, isSubbRn, isAnlRn, isOrlRn,
+            isXrlRn, isIncRn, isDecRn, isXchRn, isDjnzRn, isCjneRn,
+            isMovDirRn});
+  const NetId needsRd = orOf({dirSrc, rnSrc, isPop});
+
+  // ---------------------------------------------------------- FSM control --
+  Bus stFetch = b.constant(S_FETCH, 4);
+  Bus stDecode = b.constant(S_DECODE, 4);
+  Bus stOp1 = b.constant(S_OP1, 4);
+  Bus stOp2 = b.constant(S_OP2, 4);
+  Bus stRdri = b.constant(S_RDRI, 4);
+  Bus stRd = b.constant(S_RD, 4);
+  Bus stExec = b.constant(S_EXEC, 4);
+  Bus stWr2 = b.constant(S_WR2, 4);
+  Bus stRet1 = b.constant(S_RET1, 4);
+  Bus stRet2 = b.constant(S_RET2, 4);
+  Bus stRet3 = b.constant(S_RET3, 4);
+
+  // Where to go once all operand bytes are in.
+  Bus afterOps = b.select(
+      stExec, {{isIndirect, stRdri}, {needsRd, stRd}});
+  Bus decodeNext = b.select(
+      afterOps,
+      {{b.lor(len2, len3), stOp1}, {isRet, stRet1}, {isNop, stFetch}});
+  Bus op1Next = b.select(afterOps, {{len3, stOp2}});
+  Bus rdriNext = b.bMux(indNeedsRd, stRd, stExec);
+  Bus execNext = b.bMux(isLcall, stWr2, stFetch);
+
+  Bus stateNext = b.select(
+      stFetch,
+      {{inFetch, stDecode},
+       {inDecode, decodeNext},
+       {inOp1, op1Next},
+       {inOp2, afterOps},
+       {inRdri, rdriNext},
+       {inRd, stExec},
+       {inExec, execNext},
+       {inRet1, stRet2},
+       {inRet2, stRet3}});
+  b.nameBus("state_next", stateNext);
+  b.nameBus("cur_op", curOp);
+  b.nameBus("len2", Bus{len2});
+  b.nameBus("len3", Bus{len3});
+  b.nameBus("needs_rd", Bus{needsRd});
+  b.connect(state, stateNext);
+
+  // Operand latches.
+  b.connect(ir, b.bMux(inDecode, romData, ir.q));
+  b.connect(op1, b.bMux(inOp1, romData, op1.q));
+  b.connect(op2, b.bMux(inOp2, romData, op2.q));
+  b.setUnit(Unit::MemCtrl);
+  b.connect(tmp, b.bMux(inRet2, iramData, tmp.q));
+  b.connect(riAddr, b.bMux(inRdri, b.slice(iramData, 0, 7), riAddr.q));
+
+  // ------------------------------------------------------------- ALU -------
+  b.setUnit(Unit::Alu);
+  // Operand (resolved memory/SFR source value), valid in EXEC.
+  // SFR read multiplexer.
+  Bus parityBit{b.lxor(
+      b.lxor(b.lxor(acc.q[0], acc.q[1]), b.lxor(acc.q[2], acc.q[3])),
+      b.lxor(b.lxor(acc.q[4], acc.q[5]), b.lxor(acc.q[6], acc.q[7])))};
+  Bus pswByte{parityBit[0], b.zero(),  ov.q[0], rs0.q[0],
+              rs1.q[0],     f0.q[0],   ac.q[0], cy.q[0]};
+  auto sfrRead = [&](const Bus& addr) {
+    return b.select(b.constant(0, 8),
+                    {{b.eqConst(addr, SFR_P0), p0.q},
+                     {b.eqConst(addr, SFR_SP), sp.q},
+                     {b.eqConst(addr, SFR_DPL), dpl.q},
+                     {b.eqConst(addr, SFR_DPH), dph.q},
+                     {b.eqConst(addr, SFR_P1), p1.q},
+                     {b.eqConst(addr, SFR_PSW), pswByte},
+                     {b.eqConst(addr, SFR_ACC), acc.q},
+                     {b.eqConst(addr, SFR_B), breg.q}});
+  };
+  const NetId srcIsSfr = b.land(dirSrc, op1.q[7]);
+  Bus operand = b.bMux(srcIsSfr, sfrRead(op1.q), iramData);
+
+  // ALU input selection.
+  const NetId aMem = orOf({isIncDir, isIncRn, isIncInd, isDecDir, isDecRn,
+                           isDecInd, isDjnzRn, isDjnzDir, isCjneRn,
+                           isCjneInd});
+  Bus aluA = b.bMux(aMem, operand, acc.q);
+
+  const NetId bImmOp1 =
+      orOf({isAddImm, isAddcImm, isSubbImm, isAnlImm, isOrlImm, isXrlImm,
+            isMovAImm, isMovRnImm, isMovIndImm, isCjneAImm, isCjneRn,
+            isCjneInd});
+  const NetId bAcc = orOf({isMovDirA, isMovRnA, isMovIndA});
+  const NetId bOne = orOf({isIncA, isDecA, isIncDir, isDecDir, isIncRn,
+                           isDecRn, isIncInd, isDecInd, isDjnzRn, isDjnzDir});
+  Bus aluB = b.select(operand, {{bImmOp1, op1.q},
+                                {isMovDirImm, op2.q},
+                                {bAcc, acc.q},
+                                {bOne, b.constant(1, 8)},
+                                {isClrA, b.constant(0, 8)}});
+
+  const NetId isAddc = orOf({isAddcImm, isAddcDir, isAddcRn, isAddcInd});
+  const NetId isSubb = orOf({isSubbImm, isSubbDir, isSubbRn, isSubbInd});
+  const NetId isCjne = orOf({isCjneAImm, isCjneADir, isCjneRn, isCjneInd});
+  const NetId addGrp = orOf({isAddImm, isAddDir, isAddRn, isAddInd, isAddc,
+                             isIncA, isIncDir, isIncRn, isIncInd});
+  const NetId subGrp = orOf({isSubb, isDecA, isDecDir, isDecRn, isDecInd,
+                             isDjnzRn, isDjnzDir, isCjne});
+  const NetId andGrp = orOf({isAnlImm, isAnlDir, isAnlRn});
+  const NetId orGrp = orOf({isOrlImm, isOrlDir, isOrlRn});
+  const NetId xorGrp = orOf({isXrlImm, isXrlDir, isXrlRn});
+
+  auto addRes = b.add(aluA, aluB, b.land(isAddc, cy.q[0]));
+  auto subRes = b.sub(aluA, aluB, b.land(isSubb, cy.q[0]));
+
+  Bus rlc = b.concat(Bus{cy.q[0]}, b.slice(acc.q, 0, 7));
+  Bus rrc = b.concat(b.slice(acc.q, 1, 7), Bus{cy.q[0]});
+
+  // MUL AB: 16-bit shift-add array multiplier, {B,A} = A * B.
+  Bus product = b.constant(0, 16);
+  for (unsigned i = 0; i < 8; ++i) {
+    Bus partial = b.constant(0, 16);
+    for (unsigned k = 0; k < 8; ++k) {
+      partial[i + k] = b.land(acc.q[k], breg.q[i]);
+    }
+    product = b.add(product, partial, {}).sum;
+  }
+  Bus mulLow = b.slice(product, 0, 8);
+  Bus mulHigh = b.slice(product, 8, 8);
+  const NetId mulOverflow = b.orAll(mulHigh);
+
+  // DIV AB: 8-step restoring divider, A = A / B, B = A % B. With a zero
+  // divisor the trial subtraction never borrows, so the quotient saturates
+  // to 0xFF and the dividend falls through as the remainder (the ISS's
+  // reference semantics for the architecturally-undefined case).
+  Bus divRem = b.constant(0, 9);
+  Bus divQuot = b.constant(0, 8);
+  for (int i = 7; i >= 0; --i) {
+    Bus shifted = b.concat(Bus{acc.q[static_cast<unsigned>(i)]},
+                           b.slice(divRem, 0, 8));
+    auto trial = b.sub(shifted, b.zeroExtend(breg.q, 9), {});
+    const NetId fits = b.lnot(trial.carryOut);  // no borrow: divisor fits
+    divQuot[static_cast<unsigned>(i)] = fits;
+    divRem = b.bMux(fits, trial.sum, shifted);
+  }
+  Bus divRem8 = b.slice(divRem, 0, 8);
+  const NetId divByZero = b.isZero(breg.q);
+
+  Bus aluResult = b.select(
+      aluB,  // default: pass-through (MOV/PUSH/POP/XCH/CLR)
+      {{addGrp, addRes.sum},
+       {subGrp, subRes.sum},
+       {andGrp, b.bAnd(acc.q, aluB)},
+       {orGrp, b.bOr(acc.q, aluB)},
+       {xorGrp, b.bXor(acc.q, aluB)},
+       {isRlA, b.rotateLeft1(acc.q)},
+       {isRrA, b.rotateRight1(acc.q)},
+       {isRlcA, rlc},
+       {isRrcA, rrc},
+       {isMulAB, mulLow},
+       {isDivAB, divQuot},
+       {isCplA, b.bNot(acc.q)}});
+
+  const NetId aluZero = b.isZero(aluResult);
+
+  // HDL-visible signal names (what a VHDL model would declare; these are
+  // the targets a simulator-command tool like VFIT can force).
+  b.nameBus("alu_a", aluA);
+  b.nameBus("alu_b", aluB);
+  b.nameBus("alu_result", aluResult);
+  b.nameBus("alu_add", addRes.sum);
+  b.nameBus("alu_sub", subRes.sum);
+  b.nameBus("alu_carry", Bus{addRes.carryOut});
+  b.nameBus("alu_borrow", Bus{subRes.carryOut});
+  b.nameBus("operand", operand);
+  b.nameBus("psw_byte", pswByte);
+
+  // ------------------------------------------------------- program counter --
+  b.setUnit(Unit::MemCtrl);
+  Bus pcPlus1 = b.increment(pc.q);
+  Bus relByte = b.bMux(orOf({isCjne, isDjnzDir}), op2.q, op1.q);
+  Bus relExt = b.concat(relByte, Bus(8, relByte[7]));  // sign extension
+  Bus pcRel = b.add(pc.q, relExt, {}).sum;
+  Bus jumpTarget = b.concat(op2.q, op1.q);  // {hi=op1, lo=op2}
+
+  const NetId accZero = b.isZero(acc.q);
+  const NetId takenRel = orOf(
+      {isSjmp, b.land(isJc, cy.q[0]), b.land(isJnc, b.lnot(cy.q[0])),
+       b.land(isJz, accZero), b.land(isJnz, b.lnot(accZero)),
+       b.land(isCjne, b.lnot(aluZero)),
+       b.land(orOf({isDjnzRn, isDjnzDir}), b.lnot(aluZero))});
+
+  Bus retTarget = b.concat(iramData, tmp.q);  // {hi=tmp, lo=mem[sp-1]}
+
+  b.nameBus("pc_rel", pcRel);
+  b.nameBus("pc_plus1", pcPlus1);
+  b.nameBus("taken_rel", Bus{takenRel});
+  Bus pcNext = b.select(
+      pc.q,
+      {{inFetch, pcPlus1},
+       {b.land(inDecode, b.lor(len2, len3)), pcPlus1},
+       {b.land(inOp1, len3), pcPlus1},
+       {b.land(inExec, b.land(takenRel, b.lnot(isLcall))), pcRel},
+       {b.land(inExec, isLjmp), jumpTarget},
+       {inWr2, jumpTarget},
+       {inRet3, retTarget}});
+  b.connect(pc, pcNext);
+
+  // ------------------------------------------------------- IRAM addressing --
+  Bus bank{ir.q[0], ir.q[1], ir.q[2], rs0.q[0], rs1.q[0], b.zero(), b.zero()};
+  Bus riSel{ir.q[0], b.zero(), b.zero(), rs0.q[0],
+            rs1.q[0], b.zero(), b.zero()};
+  Bus spLow = b.slice(sp.q, 0, 7);
+  Bus spPlus1 = b.increment(sp.q);
+  Bus spMinus1 = b.decrement(sp.q);
+  Bus spMinus2 = b.decrement(spMinus1);
+
+  const NetId dstRn = orOf({isMovRnA, isMovRnImm, isMovRnDir, isIncRn,
+                            isDecRn, isXchRn, isDjnzRn});
+  const NetId dstInd = orOf({isMovIndA, isMovIndImm, isIncInd, isDecInd});
+  Bus dstDirAddr = b.bMux(isMovDirDir, op2.q, op1.q);
+
+  // Read-state address: POP reads @SP; Rn forms read the banked register;
+  // indirect forms read @riAddr-value (sitting on the IRAM output); direct
+  // forms read op1.
+  Bus rdAddr = b.select(b.slice(op1.q, 0, 7),
+                        {{isPop, spLow},
+                         {rnSrc, bank},
+                         {isIndirect, b.slice(iramData, 0, 7)}});
+  // Exec-state (write) address.
+  Bus wrAddr = b.select(b.slice(dstDirAddr, 0, 7),
+                        {{dstRn, bank},
+                         {dstInd, riAddr.q},
+                         {orOf({isPush, isLcall}), b.slice(spPlus1, 0, 7)}});
+
+  Bus iramAddrValue = b.select(
+      b.constant(0, 7),
+      {{inRdri, riSel},
+       {inRd, rdAddr},
+       {inExec, wrAddr},
+       {inWr2, b.slice(spPlus1, 0, 7)},
+       {inRet1, spLow},
+       {inRet2, b.slice(spMinus1, 0, 7)}});
+
+  // Write strobes.
+  const NetId dstDir = orOf({isMovDirA, isMovDirImm, isMovDirDir, isMovDirRn,
+                             isIncDir, isDecDir, isDjnzDir, isXchDir, isPop});
+  const NetId dstIsSfr = dstDirAddr[7];
+  const NetId wrDirIram = b.land(dstDir, b.lnot(dstIsSfr));
+  const NetId wrIram =
+      orOf({wrDirIram, dstRn, dstInd, isPush, isLcall, isXchRn});
+  NetId iramWeValue = b.lor(b.land(inExec, wrIram), inWr2);
+
+  // Write data: LCALL pushes PCL then PCH; XCH writes the old ACC back.
+  Bus iramDinValue = b.select(
+      aluResult, {{b.land(inExec, isLcall), b.slice(pc.q, 0, 8)},
+                  {inWr2, b.slice(pc.q, 8, 8)},
+                  {orOf({isXchDir, isXchRn}), acc.q}});
+
+  // Drive the placeholder IRAM nets.
+  b.setUnit(Unit::MemCtrl);
+  for (int i = 0; i < 7; ++i) {
+    nl.addGate(netlist::GateOp::Buf, iramAddrValue[i], {}, {}, Unit::MemCtrl,
+               iramAddr[i]);
+  }
+  for (int i = 0; i < 8; ++i) {
+    nl.addGate(netlist::GateOp::Buf, iramDinValue[i], {}, {}, Unit::MemCtrl,
+               iramDin[i]);
+  }
+  nl.addGate(netlist::GateOp::Buf, iramWeValue, {}, {}, Unit::MemCtrl, iramWe);
+
+  // ------------------------------------------------------ register updates --
+  b.setUnit(Unit::Registers);
+  const NetId sfrWrite = b.land(inExec, b.land(dstDir, dstIsSfr));
+  auto sfrWriteTo = [&](std::uint8_t a) {
+    return b.land(sfrWrite, b.eqConst(dstDirAddr, a));
+  };
+  Bus writeValue =
+      b.bMux(orOf({isXchDir, isXchRn}), acc.q, aluResult);
+
+  const NetId accOp = orOf(
+      {isMovAImm, isMovADir, isMovARn, isMovAInd, isAddImm, isAddDir,
+       isAddRn, isAddInd, isAddc, isSubb, isAnlImm, isAnlDir, isAnlRn,
+       isOrlImm, isOrlDir, isOrlRn, isXrlImm, isXrlDir, isXrlRn, isIncA,
+       isDecA, isClrA, isCplA, isRlA, isRrA, isRlcA, isRrcA, isXchDir,
+       isXchRn, isMovAInd, isMulAB, isDivAB});
+  const NetId accWe = b.lor(b.land(inExec, accOp), sfrWriteTo(SFR_ACC));
+  b.connect(acc, b.bMux(accWe,
+                        b.bMux(b.land(inExec, accOp), aluResult, writeValue),
+                        acc.q));
+
+  b.connect(breg, b.select(breg.q,
+                           {{b.land(inExec, isMulAB), mulHigh},
+                            {b.land(inExec, isDivAB), divRem8},
+                            {sfrWriteTo(SFR_B), writeValue}}));
+  b.connect(dpl, b.bMux(sfrWriteTo(SFR_DPL), writeValue, dpl.q));
+  b.connect(dph, b.bMux(sfrWriteTo(SFR_DPH), writeValue, dph.q));
+  b.connect(p0, b.bMux(sfrWriteTo(SFR_P0), writeValue, p0.q));
+  b.connect(p1, b.bMux(sfrWriteTo(SFR_P1), writeValue, p1.q));
+
+  Bus spNext = b.select(
+      sp.q, {{sfrWriteTo(SFR_SP), writeValue},
+             {b.land(inExec, orOf({isPush, isLcall})), spPlus1},
+             {b.land(inExec, isPop), spMinus1},
+             {inWr2, spPlus1},
+             {inRet3, spMinus2}});
+  b.connect(sp, spNext);
+
+  // PSW bits.
+  const NetId pswWr = sfrWriteTo(SFR_PSW);
+  const NetId flagArith = b.land(inExec, orOf({addGrp, isSubb}));
+  // INC/DEC do not touch flags on MCS-51; exclude them from CY/AC/OV.
+  const NetId cyArith = b.land(
+      inExec, orOf({isAddImm, isAddDir, isAddRn, isAddInd, isAddc, isSubb}));
+  (void)flagArith;
+  const NetId carrySel = b.lmux(isSubb, subRes.carryOut, addRes.carryOut);
+  const NetId acSel = b.lmux(isSubb, subRes.auxCarry, addRes.auxCarry);
+  const NetId ovSel = b.lmux(isSubb, subRes.overflow, addRes.overflow);
+
+  NetId cyNext = b.selectBit(
+      cy.q[0], {{pswWr, writeValue[7]},
+                {cyArith, carrySel},
+                {b.land(inExec, isCjne), subRes.carryOut},
+                {b.land(inExec, isRlcA), acc.q[7]},
+                {b.land(inExec, isRrcA), acc.q[0]},
+                {b.land(inExec, isSetbC), b.one()},
+                {b.land(inExec, isClrC), b.zero()},
+                {b.land(inExec, b.lor(isMulAB, isDivAB)), b.zero()},
+                {b.land(inExec, isCplC), b.lnot(cy.q[0])}});
+  b.connect(cy, Bus{cyNext});
+  b.connect(ac, Bus{b.selectBit(ac.q[0], {{pswWr, writeValue[6]},
+                                          {cyArith, acSel}})});
+  b.connect(ov, Bus{b.selectBit(ov.q[0], {{pswWr, writeValue[2]},
+                                          {cyArith, ovSel},
+                                          {b.land(inExec, isMulAB),
+                                           mulOverflow},
+                                          {b.land(inExec, isDivAB),
+                                           divByZero}})});
+  b.connect(f0, Bus{b.selectBit(f0.q[0], {{pswWr, writeValue[5]}})});
+  b.connect(rs1, Bus{b.selectBit(rs1.q[0], {{pswWr, writeValue[4]}})});
+  b.connect(rs0, Bus{b.selectBit(rs0.q[0], {{pswWr, writeValue[3]}})});
+
+  // -------------------------------------------------------------- outputs --
+  b.output("p0", p0.q);
+  b.output("p1", p1.q);
+  b.output("pc", pc.q);
+  b.output("sp", sp.q);
+  b.output("acc", acc.q);
+
+  return b.finish();
+}
+
+}  // namespace fades::mc8051

@@ -1,0 +1,38 @@
+// Gate-level MC8051 core.
+//
+// A multi-cycle implementation of the MC8051 subset, written against the RTL
+// construction kit and producing a plain netlist - the "HDL model" of the
+// paper's experiments. Functional units are tagged for fault location
+// exactly like the paper's campaign targets (Section 6.1):
+//
+//   Registers - architectural registers (ACC, B, PSW, SP, DPTR, ports)
+//   Ram       - the 128-byte internal RAM (maps to an FPGA memory block)
+//   Alu       - arithmetic/logic unit and flag generation
+//   MemCtrl   - PC, address muxes, memory-control latches
+//   Fsm       - control state machine and instruction decoder
+//
+// Ports:
+//   p0, p1 (outputs)   - SFR-mapped output ports (the observation points)
+//   pc    (output)     - program counter (state observability for traces)
+//   sp, acc (outputs)  - additional observation points
+//
+// The ROM is initialized with the workload program; execution starts at
+// address 0 out of reset (flip-flop init values = power-on state).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace fades::mc8051 {
+
+struct CoreConfig {
+  unsigned romAddrBits = 9;  // 512-byte program store
+};
+
+/// Build the core netlist with the given program in ROM.
+netlist::Netlist buildCore(const std::vector<std::uint8_t>& program,
+                           const CoreConfig& config = {});
+
+}  // namespace fades::mc8051

@@ -1,0 +1,85 @@
+#include "mc8051/isa.hpp"
+
+namespace fades::mc8051 {
+
+unsigned instructionLength(std::uint8_t op) {
+  // Register forms (low three bits = n) and indirect forms (low bit = i).
+  const std::uint8_t fam = op & 0xF8;
+  const std::uint8_t ind = op & 0xFE;
+
+  switch (op) {
+    case OP_NOP:
+    case OP_RR_A:
+    case OP_INC_A:
+    case OP_RRC_A:
+    case OP_DEC_A:
+    case OP_RET:
+    case OP_RL_A:
+    case OP_RLC_A:
+    case OP_CPL_C:
+    case OP_CLR_C:
+    case OP_SETB_C:
+    case OP_CLR_A:
+    case OP_CPL_A:
+    case OP_MUL_AB:
+    case OP_DIV_AB:
+      return 1;
+    case OP_INC_DIR:
+    case OP_DEC_DIR:
+    case OP_ADD_IMM:
+    case OP_ADD_DIR:
+    case OP_ADDC_IMM:
+    case OP_ADDC_DIR:
+    case OP_JC:
+    case OP_ORL_A_IMM:
+    case OP_ORL_A_DIR:
+    case OP_JNC:
+    case OP_ANL_A_IMM:
+    case OP_ANL_A_DIR:
+    case OP_JZ:
+    case OP_XRL_A_IMM:
+    case OP_XRL_A_DIR:
+    case OP_JNZ:
+    case OP_MOV_A_IMM:
+    case OP_SJMP:
+    case OP_SUBB_IMM:
+    case OP_SUBB_DIR:
+    case OP_PUSH:
+    case OP_XCH_A_DIR:
+    case OP_POP:
+    case OP_MOV_A_DIR:
+    case OP_MOV_DIR_A:
+      return 2;
+    case OP_LJMP:
+    case OP_LCALL:
+    case OP_MOV_DIR_IMM:
+    case OP_MOV_DIR_DIR:
+    case OP_CJNE_A_IMM:
+    case OP_CJNE_A_DIR:
+    case OP_DJNZ_DIR:
+      return 3;
+    default:
+      break;
+  }
+  if (ind == OP_INC_IND || ind == OP_DEC_IND || ind == OP_ADD_IND ||
+      ind == OP_ADDC_IND || ind == OP_SUBB_IND || ind == OP_MOV_A_IND ||
+      ind == OP_MOV_IND_A) {
+    return 1;
+  }
+  if (ind == OP_MOV_IND_IMM) return 2;
+  if (ind == OP_CJNE_IND_IMM) return 3;
+  if (fam == OP_INC_RN || fam == OP_DEC_RN || fam == OP_ADD_RN ||
+      fam == OP_ADDC_RN || fam == OP_ORL_A_RN || fam == OP_ANL_A_RN ||
+      fam == OP_XRL_A_RN || fam == OP_SUBB_RN || fam == OP_XCH_A_RN ||
+      fam == OP_MOV_A_RN || fam == OP_MOV_RN_A) {
+    return 1;
+  }
+  if (fam == OP_MOV_RN_IMM || fam == OP_MOV_DIR_RN || fam == OP_MOV_RN_DIR ||
+      fam == OP_DJNZ_RN) {
+    return 2;
+  }
+  if (fam == OP_CJNE_RN_IMM) return 3;
+  return 0;
+}
+
+}  // namespace fades::mc8051

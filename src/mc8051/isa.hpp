@@ -1,0 +1,119 @@
+// Instruction-set definition for the MC8051 subset.
+//
+// The paper's system under test is an Intel 8051 IP core running Bubblesort.
+// We implement a faithful subset of the MCS-51 ISA - real opcode encodings,
+// real flag semantics (CY/AC/OV/P), banked R0-R7 registers living in internal
+// RAM, SFR address space - rich enough for non-trivial workloads (sorting,
+// checksums, subroutine calls) while staying synthesizable onto the generic
+// FPGA. This header is shared by the assembler, the instruction-set
+// simulator and (conceptually) the RTL decoder.
+#pragma once
+
+#include <cstdint>
+
+namespace fades::mc8051 {
+
+// --- special function register addresses (direct address space >= 0x80) ---
+inline constexpr std::uint8_t SFR_P0 = 0x80;
+inline constexpr std::uint8_t SFR_SP = 0x81;
+inline constexpr std::uint8_t SFR_DPL = 0x82;
+inline constexpr std::uint8_t SFR_DPH = 0x83;
+inline constexpr std::uint8_t SFR_P1 = 0x90;
+inline constexpr std::uint8_t SFR_PSW = 0xD0;
+inline constexpr std::uint8_t SFR_ACC = 0xE0;
+inline constexpr std::uint8_t SFR_B = 0xF0;
+
+// --- PSW bit positions ------------------------------------------------------
+inline constexpr unsigned PSW_P = 0;    // parity of ACC (computed)
+inline constexpr unsigned PSW_OV = 2;   // overflow
+inline constexpr unsigned PSW_RS0 = 3;  // register bank select
+inline constexpr unsigned PSW_RS1 = 4;
+inline constexpr unsigned PSW_F0 = 5;   // general-purpose flag
+inline constexpr unsigned PSW_AC = 6;   // auxiliary carry
+inline constexpr unsigned PSW_CY = 7;   // carry
+
+// --- opcodes (MCS-51 encodings; +n forms add the register index) ----------
+enum Op : std::uint8_t {
+  OP_NOP = 0x00,
+  OP_LJMP = 0x02,
+  OP_RR_A = 0x03,
+  OP_INC_A = 0x04,
+  OP_INC_DIR = 0x05,
+  OP_INC_IND = 0x06,  // +i
+  OP_INC_RN = 0x08,   // +n
+  OP_LCALL = 0x12,
+  OP_RRC_A = 0x13,
+  OP_DEC_A = 0x14,
+  OP_DEC_DIR = 0x15,
+  OP_DEC_IND = 0x16,  // +i
+  OP_DEC_RN = 0x18,   // +n
+  OP_RET = 0x22,
+  OP_RL_A = 0x23,
+  OP_ADD_IMM = 0x24,
+  OP_ADD_DIR = 0x25,
+  OP_ADD_IND = 0x26,  // +i
+  OP_ADD_RN = 0x28,   // +n
+  OP_RLC_A = 0x33,
+  OP_ADDC_IMM = 0x34,
+  OP_ADDC_DIR = 0x35,
+  OP_ADDC_IND = 0x36,  // +i
+  OP_ADDC_RN = 0x38,   // +n
+  OP_JC = 0x40,
+  OP_ORL_A_IMM = 0x44,
+  OP_ORL_A_DIR = 0x45,
+  OP_ORL_A_RN = 0x48,  // +n
+  OP_JNC = 0x50,
+  OP_DIV_AB = 0x84,
+  OP_MUL_AB = 0xA4,
+  OP_ANL_A_IMM = 0x54,
+  OP_ANL_A_DIR = 0x55,
+  OP_ANL_A_RN = 0x58,  // +n
+  OP_JZ = 0x60,
+  OP_XRL_A_IMM = 0x64,
+  OP_XRL_A_DIR = 0x65,
+  OP_XRL_A_RN = 0x68,  // +n
+  OP_JNZ = 0x70,
+  OP_MOV_A_IMM = 0x74,
+  OP_MOV_DIR_IMM = 0x75,
+  OP_MOV_IND_IMM = 0x76,  // +i
+  OP_MOV_RN_IMM = 0x78,   // +n
+  OP_SJMP = 0x80,
+  OP_MOV_DIR_DIR = 0x85,  // operands: src, dst (MCS-51 quirk)
+  OP_MOV_DIR_RN = 0x88,   // +n
+  OP_SUBB_IMM = 0x94,
+  OP_SUBB_DIR = 0x95,
+  OP_SUBB_IND = 0x96,  // +i
+  OP_SUBB_RN = 0x98,   // +n
+  OP_MOV_RN_DIR = 0xA8,  // +n
+  OP_CPL_C = 0xB3,
+  OP_CJNE_A_IMM = 0xB4,
+  OP_CJNE_A_DIR = 0xB5,
+  OP_CJNE_IND_IMM = 0xB6,  // +i
+  OP_CJNE_RN_IMM = 0xB8,   // +n
+  OP_PUSH = 0xC0,
+  OP_CLR_C = 0xC3,
+  OP_XCH_A_DIR = 0xC5,
+  OP_XCH_A_RN = 0xC8,  // +n
+  OP_POP = 0xD0,
+  OP_SETB_C = 0xD3,
+  OP_DJNZ_DIR = 0xD5,
+  OP_DJNZ_RN = 0xD8,  // +n
+  OP_CLR_A = 0xE4,
+  OP_MOV_A_DIR = 0xE5,
+  OP_MOV_A_IND = 0xE6,  // +i
+  OP_MOV_A_RN = 0xE8,   // +n
+  OP_CPL_A = 0xF4,
+  OP_MOV_DIR_A = 0xF5,
+  OP_MOV_IND_A = 0xF6,  // +i
+  OP_MOV_RN_A = 0xF8,   // +n
+};
+
+/// Instruction length in bytes (1..3); 0 marks an unimplemented opcode.
+unsigned instructionLength(std::uint8_t opcode);
+
+/// True when the opcode belongs to the implemented subset.
+inline bool isImplemented(std::uint8_t opcode) {
+  return instructionLength(opcode) != 0;
+}
+
+}  // namespace fades::mc8051

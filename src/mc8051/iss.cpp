@@ -1,0 +1,375 @@
+#include "mc8051/iss.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace fades::mc8051 {
+
+using common::ErrorKind;
+using common::raise;
+using common::require;
+
+Iss::Iss(std::vector<std::uint8_t> program) : rom_(std::move(program)) {
+  reset();
+}
+
+void Iss::reset() {
+  for (auto& b : iram_) b = 0;
+  pc_ = 0;
+  acc_ = b_ = 0;
+  sp_ = 7;
+  dpl_ = dph_ = p0_ = p1_ = 0;
+  pswBits_ = 0;
+  cy_ = ac_ = ov_ = false;
+  cycles_ = 0;
+}
+
+std::uint8_t Iss::fetch() {
+  const std::uint8_t v = pc_ < rom_.size() ? rom_[pc_] : 0;
+  ++pc_;
+  return v;
+}
+
+std::uint8_t Iss::psw() const {
+  std::uint8_t v = 0;
+  if (cy_) v |= 1u << PSW_CY;
+  if (ac_) v |= 1u << PSW_AC;
+  v |= pswBits_ & ((1u << PSW_F0) | (1u << PSW_RS1) | (1u << PSW_RS0));
+  if (ov_) v |= 1u << PSW_OV;
+  if (std::popcount(acc_) & 1) v |= 1u << PSW_P;
+  return v;
+}
+
+std::uint8_t Iss::reg(unsigned n) const {
+  return iram_[(regBankBase() + n) & 0x7F];
+}
+
+std::uint8_t Iss::readDirect(std::uint8_t addr) const {
+  if (addr < 0x80) return iram_[addr];
+  switch (addr) {
+    case SFR_P0: return p0_;
+    case SFR_SP: return sp_;
+    case SFR_DPL: return dpl_;
+    case SFR_DPH: return dph_;
+    case SFR_P1: return p1_;
+    case SFR_PSW: return psw();
+    case SFR_ACC: return acc_;
+    case SFR_B: return b_;
+    default: return 0;  // unimplemented SFR reads as zero
+  }
+}
+
+void Iss::writeDirect(std::uint8_t addr, std::uint8_t v) {
+  if (addr < 0x80) {
+    iram_[addr] = v;
+    return;
+  }
+  switch (addr) {
+    case SFR_P0: p0_ = v; break;
+    case SFR_SP: sp_ = v; break;
+    case SFR_DPL: dpl_ = v; break;
+    case SFR_DPH: dph_ = v; break;
+    case SFR_P1: p1_ = v; break;
+    case SFR_PSW:
+      cy_ = (v >> PSW_CY) & 1;
+      ac_ = (v >> PSW_AC) & 1;
+      ov_ = (v >> PSW_OV) & 1;
+      pswBits_ = v & ((1u << PSW_F0) | (1u << PSW_RS1) | (1u << PSW_RS0));
+      break;
+    case SFR_ACC: acc_ = v; break;
+    case SFR_B: b_ = v; break;
+    default: break;  // unimplemented SFR writes are dropped
+  }
+}
+
+void Iss::addToAcc(std::uint8_t operand, bool withCarry, bool subtract) {
+  const unsigned a = acc_;
+  const unsigned c = withCarry && cy_ ? 1u : 0u;
+  unsigned result;
+  if (subtract) {
+    result = a - operand - c;
+    cy_ = a < operand + c;
+    ac_ = (a & 0x0F) < (operand & 0x0F) + c;
+    const unsigned r8 = result & 0xFF;
+    ov_ = ((a ^ operand) & (a ^ r8) & 0x80) != 0;
+  } else {
+    result = a + operand + c;
+    cy_ = result > 0xFF;
+    ac_ = (a & 0x0F) + (operand & 0x0F) + c > 0x0F;
+    const unsigned r8 = result & 0xFF;
+    ov_ = (~(a ^ operand) & (a ^ r8) & 0x80) != 0;
+  }
+  acc_ = static_cast<std::uint8_t>(result & 0xFF);
+}
+
+unsigned Iss::stepInstruction() {
+  const std::uint8_t op = fetch();
+  const unsigned len = instructionLength(op);
+  require(len != 0, ErrorKind::WorkloadError,
+          "unimplemented opcode " + std::to_string(op));
+
+  const std::uint8_t fam = op & 0xF8;
+  const std::uint8_t ind = op & 0xFE;
+  const unsigned nIdx = op & 7;
+  const unsigned iIdx = op & 1;
+
+  // Cycle accounting mirrors the RTL FSM: FETCH + DECODE, one state per
+  // extra operand byte, RDRI for @Ri forms, RD for memory/SFR reads, EXEC
+  // for everything except NOP, plus WR2 (LCALL) / the RET sequence.
+  unsigned cycles = 2 + (len >= 2 ? 1 : 0) + (len >= 3 ? 1 : 0);
+  bool hasRdri = false, hasRd = false, hasExec = true, hasWr2 = false;
+
+  auto rnAddr = [&](unsigned n) {
+    return static_cast<std::uint8_t>((regBankBase() + n) & 0x7F);
+  };
+  auto sext = [](std::uint8_t b) {
+    return static_cast<std::int16_t>(static_cast<std::int8_t>(b));
+  };
+
+  switch (op) {
+    case OP_NOP: hasExec = false; break;
+    case OP_LJMP: {
+      const std::uint8_t hi = fetch(), lo = fetch();
+      pc_ = static_cast<std::uint16_t>((hi << 8) | lo);
+      break;
+    }
+    case OP_LCALL: {
+      const std::uint8_t hi = fetch(), lo = fetch();
+      hasWr2 = true;
+      iram_[(sp_ + 1) & 0x7F] = static_cast<std::uint8_t>(pc_ & 0xFF);
+      iram_[(sp_ + 2) & 0x7F] = static_cast<std::uint8_t>(pc_ >> 8);
+      sp_ = static_cast<std::uint8_t>(sp_ + 2);
+      pc_ = static_cast<std::uint16_t>((hi << 8) | lo);
+      break;
+    }
+    case OP_RET: {
+      cycles = 4;  // FETCH, DECODE, RET1, RET2; +1 below for RET3 ("exec")
+      const std::uint8_t hi = iram_[sp_ & 0x7F];
+      const std::uint8_t lo = iram_[(sp_ - 1) & 0x7F];
+      sp_ = static_cast<std::uint8_t>(sp_ - 2);
+      pc_ = static_cast<std::uint16_t>((hi << 8) | lo);
+      break;
+    }
+    case OP_RR_A: acc_ = static_cast<std::uint8_t>((acc_ >> 1) | (acc_ << 7)); break;
+    case OP_RL_A: acc_ = static_cast<std::uint8_t>((acc_ << 1) | (acc_ >> 7)); break;
+    case OP_RRC_A: {
+      const bool newC = acc_ & 1;
+      acc_ = static_cast<std::uint8_t>((acc_ >> 1) | (cy_ ? 0x80 : 0));
+      cy_ = newC;
+      break;
+    }
+    case OP_RLC_A: {
+      const bool newC = acc_ & 0x80;
+      acc_ = static_cast<std::uint8_t>((acc_ << 1) | (cy_ ? 1 : 0));
+      cy_ = newC;
+      break;
+    }
+    case OP_INC_A: ++acc_; break;
+    case OP_DEC_A: --acc_; break;
+    case OP_CLR_A: acc_ = 0; break;
+    case OP_CPL_A: acc_ = static_cast<std::uint8_t>(~acc_); break;
+    case OP_CLR_C: cy_ = false; break;
+    case OP_SETB_C: cy_ = true; break;
+    case OP_CPL_C: cy_ = !cy_; break;
+    case OP_MUL_AB: {
+      const unsigned product = unsigned{acc_} * unsigned{b_};
+      acc_ = static_cast<std::uint8_t>(product & 0xFF);
+      b_ = static_cast<std::uint8_t>(product >> 8);
+      cy_ = false;
+      ov_ = (product > 0xFF);
+      break;
+    }
+    case OP_DIV_AB: {
+      cy_ = false;
+      if (b_ == 0) {
+        // Matches the RTL's restoring divider with divisor 0: the quotient
+        // saturates and the dividend falls through as the remainder.
+        ov_ = true;
+        b_ = acc_;
+        acc_ = 0xFF;
+      } else {
+        ov_ = false;
+        const std::uint8_t q = static_cast<std::uint8_t>(acc_ / b_);
+        b_ = static_cast<std::uint8_t>(acc_ % b_);
+        acc_ = q;
+      }
+      break;
+    }
+    case OP_INC_DIR: {
+      hasRd = true;
+      const std::uint8_t a = fetch();
+      writeDirect(a, static_cast<std::uint8_t>(readDirect(a) + 1));
+      break;
+    }
+    case OP_DEC_DIR: {
+      hasRd = true;
+      const std::uint8_t a = fetch();
+      writeDirect(a, static_cast<std::uint8_t>(readDirect(a) - 1));
+      break;
+    }
+    case OP_ADD_IMM: addToAcc(fetch(), false, false); break;
+    case OP_ADDC_IMM: addToAcc(fetch(), true, false); break;
+    case OP_SUBB_IMM: addToAcc(fetch(), true, true); break;
+    case OP_ADD_DIR: hasRd = true; addToAcc(readDirect(fetch()), false, false); break;
+    case OP_ADDC_DIR: hasRd = true; addToAcc(readDirect(fetch()), true, false); break;
+    case OP_SUBB_DIR: hasRd = true; addToAcc(readDirect(fetch()), true, true); break;
+    case OP_ANL_A_IMM: acc_ &= fetch(); break;
+    case OP_ORL_A_IMM: acc_ |= fetch(); break;
+    case OP_XRL_A_IMM: acc_ ^= fetch(); break;
+    case OP_ANL_A_DIR: hasRd = true; acc_ &= readDirect(fetch()); break;
+    case OP_ORL_A_DIR: hasRd = true; acc_ |= readDirect(fetch()); break;
+    case OP_XRL_A_DIR: hasRd = true; acc_ ^= readDirect(fetch()); break;
+    case OP_JC:
+    case OP_JNC:
+    case OP_JZ:
+    case OP_JNZ:
+    case OP_SJMP: {
+      const std::uint8_t rel = fetch();
+      const bool taken = op == OP_SJMP ? true
+                         : op == OP_JC ? cy_
+                         : op == OP_JNC ? !cy_
+                         : op == OP_JZ ? (acc_ == 0)
+                                       : (acc_ != 0);
+      if (taken) pc_ = static_cast<std::uint16_t>(pc_ + sext(rel));
+      break;
+    }
+    case OP_MOV_A_IMM: acc_ = fetch(); break;
+    case OP_MOV_A_DIR: hasRd = true; acc_ = readDirect(fetch()); break;
+    case OP_MOV_DIR_A: writeDirect(fetch(), acc_); break;
+    case OP_MOV_DIR_IMM: {
+      const std::uint8_t a = fetch(), v = fetch();
+      writeDirect(a, v);
+      break;
+    }
+    case OP_MOV_DIR_DIR: {
+      hasRd = true;
+      const std::uint8_t src = fetch(), dst = fetch();
+      writeDirect(dst, readDirect(src));
+      break;
+    }
+    case OP_CJNE_A_IMM:
+    case OP_CJNE_A_DIR: {
+      hasRd = (op == OP_CJNE_A_DIR);
+      const std::uint8_t operandByte = fetch();
+      const std::uint8_t rel = fetch();
+      const std::uint8_t rhs =
+          op == OP_CJNE_A_IMM ? operandByte : readDirect(operandByte);
+      cy_ = acc_ < rhs;
+      if (acc_ != rhs) pc_ = static_cast<std::uint16_t>(pc_ + sext(rel));
+      break;
+    }
+    case OP_PUSH: {
+      hasRd = true;
+      const std::uint8_t v = readDirect(fetch());
+      sp_ = static_cast<std::uint8_t>(sp_ + 1);
+      iram_[sp_ & 0x7F] = v;
+      break;
+    }
+    case OP_POP: {
+      hasRd = true;
+      const std::uint8_t v = iram_[sp_ & 0x7F];
+      sp_ = static_cast<std::uint8_t>(sp_ - 1);
+      writeDirect(fetch(), v);
+      break;
+    }
+    case OP_XCH_A_DIR: {
+      hasRd = true;
+      const std::uint8_t a = fetch();
+      const std::uint8_t v = readDirect(a);
+      writeDirect(a, acc_);
+      acc_ = v;
+      break;
+    }
+    case OP_DJNZ_DIR: {
+      hasRd = true;
+      const std::uint8_t a = fetch();
+      const std::uint8_t rel = fetch();
+      const std::uint8_t v = static_cast<std::uint8_t>(readDirect(a) - 1);
+      writeDirect(a, v);
+      if (v != 0) pc_ = static_cast<std::uint16_t>(pc_ + sext(rel));
+      break;
+    }
+    default: {
+      // Register and indirect families.
+      if (fam == OP_MOV_A_RN) { hasRd = true; acc_ = iram_[rnAddr(nIdx)]; }
+      else if (fam == OP_MOV_RN_A) { iram_[rnAddr(nIdx)] = acc_; }
+      else if (fam == OP_MOV_RN_IMM) { iram_[rnAddr(nIdx)] = fetch(); }
+      else if (fam == OP_MOV_RN_DIR) { hasRd = true; iram_[rnAddr(nIdx)] = readDirect(fetch()); }
+      else if (fam == OP_MOV_DIR_RN) { hasRd = true; writeDirect(fetch(), iram_[rnAddr(nIdx)]); }
+      else if (fam == OP_ADD_RN) { hasRd = true; addToAcc(iram_[rnAddr(nIdx)], false, false); }
+      else if (fam == OP_ADDC_RN) { hasRd = true; addToAcc(iram_[rnAddr(nIdx)], true, false); }
+      else if (fam == OP_SUBB_RN) { hasRd = true; addToAcc(iram_[rnAddr(nIdx)], true, true); }
+      else if (fam == OP_ANL_A_RN) { hasRd = true; acc_ &= iram_[rnAddr(nIdx)]; }
+      else if (fam == OP_ORL_A_RN) { hasRd = true; acc_ |= iram_[rnAddr(nIdx)]; }
+      else if (fam == OP_XRL_A_RN) { hasRd = true; acc_ ^= iram_[rnAddr(nIdx)]; }
+      else if (fam == OP_INC_RN) { hasRd = true; ++iram_[rnAddr(nIdx)]; }
+      else if (fam == OP_DEC_RN) { hasRd = true; --iram_[rnAddr(nIdx)]; }
+      else if (fam == OP_XCH_A_RN) {
+        hasRd = true;
+        std::swap(acc_, iram_[rnAddr(nIdx)]);
+      } else if (fam == OP_DJNZ_RN) {
+        hasRd = true;
+        const std::uint8_t rel = fetch();
+        const std::uint8_t v = --iram_[rnAddr(nIdx)];
+        if (v != 0) pc_ = static_cast<std::uint16_t>(pc_ + sext(rel));
+      } else if (fam == OP_CJNE_RN_IMM) {
+        hasRd = true;
+        const std::uint8_t imm = fetch();
+        const std::uint8_t rel = fetch();
+        const std::uint8_t lhs = iram_[rnAddr(nIdx)];
+        cy_ = lhs < imm;
+        if (lhs != imm) pc_ = static_cast<std::uint16_t>(pc_ + sext(rel));
+      } else if (ind == OP_MOV_A_IND) {
+        hasRdri = hasRd = true;
+        acc_ = iram_[iram_[rnAddr(iIdx)] & 0x7F];
+      } else if (ind == OP_MOV_IND_A) {
+        hasRdri = true;
+        iram_[iram_[rnAddr(iIdx)] & 0x7F] = acc_;
+      } else if (ind == OP_MOV_IND_IMM) {
+        hasRdri = true;
+        iram_[iram_[rnAddr(iIdx)] & 0x7F] = fetch();
+      } else if (ind == OP_ADD_IND) {
+        hasRdri = hasRd = true;
+        addToAcc(iram_[iram_[rnAddr(iIdx)] & 0x7F], false, false);
+      } else if (ind == OP_ADDC_IND) {
+        hasRdri = hasRd = true;
+        addToAcc(iram_[iram_[rnAddr(iIdx)] & 0x7F], true, false);
+      } else if (ind == OP_SUBB_IND) {
+        hasRdri = hasRd = true;
+        addToAcc(iram_[iram_[rnAddr(iIdx)] & 0x7F], true, true);
+      } else if (ind == OP_INC_IND) {
+        hasRdri = hasRd = true;
+        ++iram_[iram_[rnAddr(iIdx)] & 0x7F];
+      } else if (ind == OP_DEC_IND) {
+        hasRdri = hasRd = true;
+        --iram_[iram_[rnAddr(iIdx)] & 0x7F];
+      } else if (ind == OP_CJNE_IND_IMM) {
+        hasRdri = hasRd = true;
+        const std::uint8_t imm = fetch();
+        const std::uint8_t rel = fetch();
+        const std::uint8_t lhs = iram_[iram_[rnAddr(iIdx)] & 0x7F];
+        cy_ = lhs < imm;
+        if (lhs != imm) pc_ = static_cast<std::uint16_t>(pc_ + sext(rel));
+      } else {
+        raise(ErrorKind::WorkloadError,
+              "unhandled opcode " + std::to_string(op));
+      }
+      break;
+    }
+  }
+
+  cycles += (hasRdri ? 1 : 0) + (hasRd ? 1 : 0) + (hasExec ? 1 : 0) +
+            (hasWr2 ? 1 : 0);
+  cycles_ += cycles;
+  return cycles;
+}
+
+void Iss::runCycles(std::uint64_t cycles) {
+  // Whole-instruction granularity: stops at the first instruction boundary
+  // at or past the budget. Workloads park in a `SJMP $` idle loop, so the
+  // architectural state is quiescent there and small overshoot is harmless.
+  while (cycles_ < cycles) stepInstruction();
+}
+
+}  // namespace fades::mc8051

@@ -1,0 +1,224 @@
+#include "mc8051/workloads.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "mc8051/assembler.hpp"
+#include "mc8051/iss.hpp"
+
+namespace fades::mc8051 {
+
+using common::ErrorKind;
+using common::require;
+
+namespace {
+
+/// Assemble, execute on the ISS until the program parks at its `end` label,
+/// and record the cycle budget (with a small settle margin) plus the final
+/// port values. Also asserts the program against the expected outputs, so a
+/// broken workload fails fast rather than corrupting campaign baselines.
+Workload finalize(std::string name, std::string source,
+                  std::uint8_t expectedP0, std::uint8_t expectedP1) {
+  Workload w;
+  w.name = std::move(name);
+  w.source = std::move(source);
+  const AssembledProgram prog = assemble(w.source);
+  w.bytes = prog.bytes;
+  const std::uint16_t endAddr = prog.symbol("end");
+
+  Iss iss(w.bytes);
+  std::uint64_t guard = 0;
+  while (iss.pc() != endAddr) {
+    iss.stepInstruction();
+    require(++guard < 2'000'000, ErrorKind::WorkloadError,
+            "workload '" + w.name + "' did not reach its end label");
+  }
+  // A small margin so the final writes are visibly stable in traces.
+  w.cycles = iss.cycleCount() + 12;
+  w.expectedP0 = iss.p0();
+  w.expectedP1 = iss.p1();
+  require(w.expectedP0 == expectedP0 && w.expectedP1 == expectedP1,
+          ErrorKind::WorkloadError,
+          "workload '" + w.name + "' self-check failed: P0=" +
+              std::to_string(iss.p0()) + " P1=" + std::to_string(iss.p1()));
+  return w;
+}
+
+std::uint8_t rl8(std::uint8_t v) {
+  return static_cast<std::uint8_t>((v << 1) | (v >> 7));
+}
+
+}  // namespace
+
+Workload bubblesort(unsigned n) {
+  require(n >= 2 && n <= 32, ErrorKind::InvalidArgument,
+          "bubblesort size out of range");
+  // Reference: array holds n..1, sorted ascending; rotating checksum.
+  std::uint8_t check = 0;
+  for (unsigned i = 1; i <= n; ++i) {
+    check = rl8(static_cast<std::uint8_t>(check + i));
+  }
+
+  std::ostringstream s;
+  s << "arr:    .equ 0x30\n"
+    << "; ---- fill arr with n..1 (worst case: descending) ----\n"
+    << "        MOV  R0, #arr\n"
+    << "        MOV  R1, #" << n << "\n"
+    << "        MOV  R3, #" << n << "\n"
+    << "init:   MOV  A, R1\n"
+    << "        MOV  @R0, A\n"
+    << "        INC  R0\n"
+    << "        DEC  R1\n"
+    << "        DJNZ R3, init\n"
+    << "; ---- bubble sort, " << n - 1 << " passes ----\n"
+    << "        MOV  R2, #" << n - 1 << "\n"
+    << "outer:  MOV  R0, #arr\n"
+    << "        MOV  R3, #" << n - 1 << "\n"
+    << "inner:  MOV  A, @R0\n"
+    << "        MOV  R4, A\n"
+    << "        INC  R0\n"
+    << "        MOV  A, @R0\n"
+    << "        MOV  R5, A\n"
+    << "        CLR  C\n"
+    << "        SUBB A, R4\n"
+    << "        JNC  noswap\n"
+    << "        MOV  A, R4\n"
+    << "        MOV  @R0, A\n"
+    << "        DEC  R0\n"
+    << "        MOV  A, R5\n"
+    << "        MOV  @R0, A\n"
+    << "        INC  R0\n"
+    << "noswap: DJNZ R3, inner\n"
+    << "        DJNZ R2, outer\n"
+    << "; ---- rotating checksum of the sorted array ----\n"
+    << "        MOV  R0, #arr\n"
+    << "        MOV  R3, #" << n << "\n"
+    << "        CLR  A\n"
+    << "csum:   ADD  A, @R0\n"
+    << "        RL   A\n"
+    << "        INC  R0\n"
+    << "        DJNZ R3, csum\n"
+    << "        MOV  P1, A\n"
+    << "        MOV  P0, #0xA5\n"
+    << "end:    SJMP $\n";
+  return finalize("bubblesort" + std::to_string(n), s.str(), 0xA5, check);
+}
+
+Workload checksum(unsigned n) {
+  require(n >= 1 && n <= 32, ErrorKind::InvalidArgument,
+          "checksum size out of range");
+  std::ostringstream t;
+  t << "buf:    .equ 0x40\n";
+  for (unsigned i = 0; i < n; ++i) {
+    const auto v = static_cast<std::uint8_t>(i * 37 + 11);
+    t << "        MOV 0x" << std::hex << (0x40 + i) << std::dec << ", #"
+      << unsigned(v) << "\n";
+  }
+  t << "tmp:    .equ 0x3F\n"
+    << "        MOV  R0, #buf\n"
+    << "        MOV  R3, #" << n << "\n"
+    << "        MOV  R6, #0\n"     // running checksum
+    << "loop:   MOV  A, @R0\n"
+    << "        MOV  tmp, A\n"
+    << "        MOV  A, R6\n"
+    << "        XRL  A, tmp\n"
+    << "        RL   A\n"
+    << "        ADD  A, tmp\n"
+    << "        MOV  R6, A\n"
+    << "        INC  R0\n"
+    << "        DJNZ R3, loop\n"
+    << "        MOV  P1, A\n"
+    << "        MOV  P0, #0x3C\n"
+    << "end:    SJMP $\n";
+  // Reference checksum.
+  std::uint8_t c = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    const auto v = static_cast<std::uint8_t>(i * 37 + 11);
+    c = rl8(static_cast<std::uint8_t>(c ^ v));
+    c = static_cast<std::uint8_t>(c + v);
+  }
+  return finalize("checksum" + std::to_string(n), t.str(), 0x3C, c);
+}
+
+Workload fibonacci(unsigned steps) {
+  require(steps >= 1 && steps <= 40, ErrorKind::InvalidArgument,
+          "fibonacci steps out of range");
+  unsigned f0 = 0, f1 = 1;
+  for (unsigned i = 0; i < steps; ++i) {
+    const unsigned next = (f0 + f1) & 0xFF;
+    f0 = f1;
+    f1 = next;
+  }
+  std::ostringstream s;
+  s << "        MOV  SP, #0x60\n"
+    << "        MOV  R2, #" << steps << "\n"
+    << "        MOV  0x20, #0\n"
+    << "        MOV  0x21, #1\n"
+    << "loop:   LCALL step\n"
+    << "        DJNZ R2, loop\n"
+    << "        MOV  A, 0x21\n"
+    << "        MOV  P1, A\n"
+    << "        MOV  P0, #0x5A\n"
+    << "end:    SJMP $\n"
+    << "step:   MOV  A, 0x20\n"
+    << "        ADD  A, 0x21\n"
+    << "        PUSH 0x21\n"
+    << "        POP  0x20\n"
+    << "        MOV  0x21, A\n"
+    << "        RET\n";
+  return finalize("fibonacci" + std::to_string(steps), s.str(), 0x5A,
+                  static_cast<std::uint8_t>(f1));
+}
+
+Workload dotproduct(unsigned n) {
+  require(n >= 1 && n <= 16, ErrorKind::InvalidArgument,
+          "dotproduct size out of range");
+  // Reference: 16-bit accumulation of x[i]*y[i], then (hi ^ lo) / 3.
+  unsigned sum = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned x = (i * 29 + 5) & 0xFF;
+    const unsigned y = (i * 53 + 11) & 0xFF;
+    sum = (sum + x * y) & 0xFFFF;
+  }
+  const std::uint8_t mix = static_cast<std::uint8_t>((sum >> 8) ^ sum);
+  const std::uint8_t expected = static_cast<std::uint8_t>(mix / 3);
+
+  std::ostringstream s;
+  s << "xvec:   .equ 0x30\n"
+    << "yvec:   .equ 0x48\n"
+    << "sumlo:  .equ 0x60\n"
+    << "sumhi:  .equ 0x61\n";
+  for (unsigned i = 0; i < n; ++i) {
+    s << "        MOV 0x" << std::hex << (0x30 + i) << std::dec << ", #"
+      << ((i * 29 + 5) & 0xFF) << "\n";
+    s << "        MOV 0x" << std::hex << (0x48 + i) << std::dec << ", #"
+      << ((i * 53 + 11) & 0xFF) << "\n";
+  }
+  s << "        MOV  sumlo, #0\n"
+    << "        MOV  sumhi, #0\n"
+    << "        MOV  R0, #xvec\n"
+    << "        MOV  R1, #yvec\n"
+    << "        MOV  R3, #" << n << "\n"
+    << "loop:   MOV  A, @R1\n"
+    << "        MOV  B, A\n"
+    << "        MOV  A, @R0\n"
+    << "        MUL  AB\n"
+    << "        ADD  A, sumlo\n"
+    << "        MOV  sumlo, A\n"
+    << "        MOV  A, B\n"
+    << "        ADDC A, sumhi\n"
+    << "        MOV  sumhi, A\n"
+    << "        INC  R0\n"
+    << "        INC  R1\n"
+    << "        DJNZ R3, loop\n"
+    << "        MOV  A, sumhi\n"
+    << "        XRL  A, sumlo\n"
+    << "        MOV  B, #3\n"
+    << "        DIV  AB\n"
+    << "        MOV  P1, A\n"
+    << "        MOV  P0, #0xD7\n"
+    << "end:    SJMP $\n";
+  return finalize("dotproduct" + std::to_string(n), s.str(), 0xD7, expected);
+}
+
+}  // namespace fades::mc8051

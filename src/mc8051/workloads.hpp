@@ -1,0 +1,45 @@
+// Benchmark workloads for the MC8051 core.
+//
+// The paper's experiments run Bubblesort ("commonly used in HDL-based fault
+// injection experiments", Section 6.1; 1303 cycles on their 8051 model).
+// Each workload carries its program, the cycle budget used as the campaign
+// experiment length, and a functional self-check so the golden run can be
+// asserted correct. Workloads publish a result signature on P0/P1 so that
+// output traces observe meaningful data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fades::mc8051 {
+
+struct Workload {
+  std::string name;
+  std::string source;                // assembly text
+  std::vector<std::uint8_t> bytes;   // assembled program
+  std::uint64_t cycles = 0;          // golden run length (measured via ISS)
+  std::uint8_t expectedP0 = 0;       // value on P0 at completion
+  std::uint8_t expectedP1 = 0;       // value on P1 at completion
+};
+
+/// Bubblesort over N bytes of internal RAM (descending input, ascending
+/// output). P1 receives a checksum of the sorted array, P0 a completion
+/// marker. The default size yields a run length comparable to the paper's
+/// 1303 cycles.
+Workload bubblesort(unsigned elements = 10);
+
+/// 8-bit additive/rotating checksum over a ROM-supplied data block written
+/// to IRAM first (exercises MOV/ADD/RL and both memories).
+Workload checksum(unsigned elements = 16);
+
+/// Iterative Fibonacci with results pushed through the stack
+/// (exercises PUSH/POP/LCALL/RET and arithmetic with carry).
+Workload fibonacci(unsigned steps = 10);
+
+/// 16-bit dot product of two IRAM vectors using MUL AB and ADDC, finished
+/// with a DIV AB scaling step (exercises the multiplier/divider array, the
+/// B register and carry-chained accumulation).
+Workload dotproduct(unsigned elements = 6);
+
+}  // namespace fades::mc8051

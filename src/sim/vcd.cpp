@@ -1,0 +1,116 @@
+#include "sim/vcd.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace fades::sim {
+
+using common::ErrorKind;
+using common::require;
+
+namespace {
+
+/// Printable VCD identifier codes: base-94 over '!'..'~'.
+std::string idCode(std::size_t index) {
+  std::string s;
+  do {
+    s.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return s;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(const Simulator& simulator,
+                     const netlist::Netlist& netlist, double timescaleNs)
+    : sim_(simulator), nl_(netlist), timescaleNs_(timescaleNs) {}
+
+void VcdWriter::addSignal(const std::string& name, netlist::NetId net) {
+  addBus(name, {net});
+}
+
+void VcdWriter::addBus(const std::string& name,
+                       const std::vector<netlist::NetId>& bus) {
+  require(!bus.empty() && bus.size() <= 64, ErrorKind::InvalidArgument,
+          "VCD bus width out of range");
+  require(changes_.empty(), ErrorKind::InvalidArgument,
+          "signals must be registered before the first sample");
+  Signal s;
+  s.name = name;
+  s.nets = bus;
+  s.id = idCode(signals_.size());
+  signals_.push_back(std::move(s));
+}
+
+void VcdWriter::addAllOutputs() {
+  for (const auto& p : nl_.outputs()) addBus(p.name, p.nets);
+}
+
+std::uint64_t VcdWriter::valueOf(const Signal& s) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < s.nets.size(); ++i) {
+    if (sim_.netValue(s.nets[i])) v |= 1ULL << i;
+  }
+  return v;
+}
+
+void VcdWriter::sample(std::uint64_t cycle) {
+  std::string batch;
+  for (auto& s : signals_) {
+    const std::uint64_t v = valueOf(s);
+    if (s.everSampled && v == s.lastValue) continue;
+    s.everSampled = true;
+    s.lastValue = v;
+    if (s.nets.size() == 1) {
+      batch += (v ? '1' : '0');
+      batch += s.id;
+      batch += '\n';
+    } else {
+      batch += 'b';
+      for (std::size_t i = s.nets.size(); i-- > 0;) {
+        batch += ((v >> i) & 1) ? '1' : '0';
+      }
+      batch += ' ';
+      batch += s.id;
+      batch += '\n';
+    }
+  }
+  if (batch.empty()) return;
+  if (static_cast<std::int64_t>(cycle) != lastEmittedCycle_) {
+    changes_ += '#' + std::to_string(cycle) + '\n';
+    lastEmittedCycle_ = static_cast<std::int64_t>(cycle);
+  }
+  changes_ += batch;
+}
+
+std::string VcdWriter::header() const {
+  std::string h;
+  h += "$date reproduced FADES trace $end\n";
+  h += "$version fades VcdWriter $end\n";
+  h += "$timescale " + std::to_string(static_cast<int>(timescaleNs_)) +
+       " ns $end\n";
+  h += "$scope module system $end\n";
+  for (const auto& s : signals_) {
+    h += "$var wire " + std::to_string(s.nets.size()) + " " + s.id + " " +
+         s.name + " $end\n";
+  }
+  h += "$upscope $end\n$enddefinitions $end\n";
+  return h;
+}
+
+std::string VcdWriter::str() const { return header() + changes_; }
+
+void VcdWriter::save(const std::string& path) const {
+  const std::string text = str();
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  require(f != nullptr, ErrorKind::InvalidArgument,
+          "cannot open '" + path + "' for writing");
+  require(std::fwrite(text.data(), 1, text.size(), f.get()) == text.size(),
+          ErrorKind::InvalidArgument, "short write to '" + path + "'");
+}
+
+}  // namespace fades::sim

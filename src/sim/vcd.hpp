@@ -1,0 +1,59 @@
+// VCD (Value Change Dump) trace writer for the event-driven simulator.
+//
+// The paper's observation process stores "a trace of the outputs and state
+// of the system for its ulterior analysis" (Section 2). VcdWriter produces
+// that trace in the standard IEEE 1364 VCD format, viewable in GTKWave and
+// friends: register the signals to watch, call sample() once per cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace fades::sim {
+
+class VcdWriter {
+ public:
+  /// `timescaleNs` is the nominal duration of one clock cycle.
+  VcdWriter(const Simulator& simulator, const netlist::Netlist& netlist,
+            double timescaleNs = 40.0);
+
+  /// Watch a single net or a whole bus (MSB-first in the VCD).
+  void addSignal(const std::string& name, netlist::NetId net);
+  void addBus(const std::string& name,
+              const std::vector<netlist::NetId>& bus);
+  /// Watch every output port of the netlist.
+  void addAllOutputs();
+
+  /// Record the current values at the given cycle; only changes are
+  /// emitted, per the VCD format.
+  void sample(std::uint64_t cycle);
+
+  /// Complete VCD text (header + change stream so far).
+  std::string str() const;
+  /// Write to a file; throws on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  struct Signal {
+    std::string name;
+    std::vector<netlist::NetId> nets;  // LSB first
+    std::string id;                    // VCD identifier code
+    std::uint64_t lastValue = ~0ULL;
+    bool everSampled = false;
+  };
+
+  std::string header() const;
+  std::uint64_t valueOf(const Signal& s) const;
+
+  const Simulator& sim_;
+  const netlist::Netlist& nl_;
+  double timescaleNs_;
+  std::vector<Signal> signals_;
+  std::string changes_;
+  std::int64_t lastEmittedCycle_ = -1;
+};
+
+}  // namespace fades::sim

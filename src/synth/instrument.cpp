@@ -1,0 +1,139 @@
+#include "synth/instrument.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace fades::synth {
+
+using common::ErrorKind;
+using common::require;
+using netlist::FlopId;
+using netlist::GateId;
+using netlist::GateOp;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::RamId;
+
+InstrumentedModel instrumentWithSaboteurs(
+    const Netlist& source, const std::vector<NetId>& targets) {
+  require(!targets.empty(), ErrorKind::InvalidArgument,
+          "no saboteur targets");
+  InstrumentedModel out;
+  out.netlist = source;  // instrumentation is additive
+  Netlist& nl = out.netlist;
+
+  for (NetId t : targets) {
+    require(t.valid() && t.value < nl.netCount(), ErrorKind::InvalidArgument,
+            "saboteur target net out of range");
+    require(nl.driverOf(t).kind != Netlist::DriverKind::Input,
+            ErrorKind::InvalidArgument,
+            "saboteur targets must not be input-port nets");
+  }
+
+  // 1. Collect the ORIGINAL consumers of every target before any saboteur
+  //    logic exists (the saboteurs themselves read the unmodified nets).
+  struct Slot {
+    enum class Kind : std::uint8_t { GateIn, FlopD, RamPin, PortOut } kind;
+    std::uint32_t a = 0;  // gate/flop/ram/port index
+    std::uint32_t b = 0;  // gate pin / port bit
+  };
+  std::map<std::uint32_t, std::vector<Slot>> slots;
+  for (NetId t : targets) slots[t.value];  // mark
+  auto interested = [&](NetId n) { return slots.count(n.value) != 0; };
+
+  for (std::uint32_t g = 0; g < nl.gateCount(); ++g) {
+    const auto& gate = nl.gates()[g];
+    for (unsigned k = 0; k < netlist::arity(gate.op); ++k) {
+      if (interested(gate.in[k])) {
+        slots[gate.in[k].value].push_back(
+            Slot{Slot::Kind::GateIn, g, k});
+      }
+    }
+  }
+  for (std::uint32_t f = 0; f < nl.flopCount(); ++f) {
+    if (interested(nl.flops()[f].d)) {
+      slots[nl.flops()[f].d.value].push_back(Slot{Slot::Kind::FlopD, f, 0});
+    }
+  }
+  for (std::uint32_t r = 0; r < nl.ramCount(); ++r) {
+    const auto& ram = nl.rams()[r];
+    auto check = [&](NetId n) {
+      if (interested(n)) slots[n.value].push_back(Slot{Slot::Kind::RamPin, r, 0});
+    };
+    for (NetId n : ram.addr) check(n);
+    for (NetId n : ram.dataIn) check(n);
+    if (ram.writeEnable.valid()) check(ram.writeEnable);
+  }
+  for (std::uint32_t p = 0; p < nl.outputs().size(); ++p) {
+    const auto& port = nl.outputs()[p];
+    for (std::uint32_t b = 0; b < port.nets.size(); ++b) {
+      if (interested(port.nets[b])) {
+        slots[port.nets[b].value].push_back(Slot{Slot::Kind::PortOut, p, b});
+      }
+    }
+  }
+
+  // 2. Injection control ports.
+  out.selectBits = 1;
+  while ((std::size_t{1} << out.selectBits) < targets.size()) {
+    ++out.selectBits;
+  }
+  const NetId enable = nl.addNet("sab_enable");
+  nl.addInputPort("sab_enable", {enable});
+  std::vector<NetId> select;
+  for (unsigned b = 0; b < out.selectBits; ++b) {
+    select.push_back(nl.addNet("sab_select[" + std::to_string(b) + "]"));
+  }
+  nl.addInputPort("sab_select", select);
+
+  // 3. Splice one inverting saboteur per target and rewire its consumers.
+  const std::size_t gatesBefore = nl.gateCount();
+  for (std::uint32_t idx = 0; idx < targets.size(); ++idx) {
+    const NetId t = targets[idx];
+    // sel == idx
+    NetId match{};
+    for (unsigned b = 0; b < out.selectBits; ++b) {
+      NetId bit = select[b];
+      if (((idx >> b) & 1u) == 0) {
+        const GateId inv = nl.addGate(GateOp::Not, bit);
+        bit = nl.gate(inv).out;
+      }
+      if (!match.valid()) {
+        match = bit;
+      } else {
+        const GateId andG = nl.addGate(GateOp::And, match, bit);
+        match = nl.gate(andG).out;
+      }
+    }
+    const GateId ctl = nl.addGate(GateOp::And, enable, match);
+    const GateId sab = nl.addGate(GateOp::Xor, t, nl.gate(ctl).out);
+    const NetId sabOut = nl.gate(sab).out;
+    nl.setNetName(sabOut, nl.netName(t).empty()
+                              ? "sab" + std::to_string(idx)
+                              : nl.netName(t) + ".sab");
+    out.selectors.emplace_back(t, idx);
+
+    for (const Slot& s : slots[t.value]) {
+      switch (s.kind) {
+        case Slot::Kind::GateIn:
+          nl.replaceGateInput(GateId{s.a}, s.b, sabOut);
+          break;
+        case Slot::Kind::FlopD:
+          nl.replaceFlopInput(FlopId{s.a}, sabOut);
+          break;
+        case Slot::Kind::RamPin:
+          nl.replaceRamInput(RamId{s.a}, t, sabOut);
+          break;
+        case Slot::Kind::PortOut:
+          nl.replaceOutputPortNet(s.a, s.b, sabOut);
+          break;
+      }
+    }
+  }
+  out.saboteurGates = nl.gateCount() - gatesBefore;
+  nl.validate();
+  return out;
+}
+
+}  // namespace fades::synth

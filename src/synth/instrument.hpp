@@ -1,0 +1,42 @@
+// Compile-time reconfiguration (CTR) support: saboteur instrumentation.
+//
+// The paper contrasts its run-time technique with compile-time
+// reconfiguration (Civera et al., discussed in Section 7.3): CTR instruments
+// the HDL model with extra "saboteur" logic that can corrupt chosen signals
+// under the control of dedicated injection inputs, then implements the
+// instrumented model once. Injection is then fast (drive the control pins),
+// but the instrumented model is bigger, each change of the target set needs
+// a re-implementation, and the saboteurs disturb timing.
+//
+// instrumentWithSaboteurs() rebuilds a netlist with an inverting saboteur
+// spliced into every selected net:
+//
+//     consumers(net)  <-  net XOR (sab_enable AND sel == index)
+//
+// plus two new input ports, `sab_enable` and `sab_select`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace fades::synth {
+
+struct InstrumentedModel {
+  netlist::Netlist netlist;
+  /// selector value (drive on `sab_select`) per instrumented target net.
+  std::vector<std::pair<netlist::NetId, std::uint32_t>> selectors;
+  unsigned selectBits = 0;
+  std::size_t saboteurGates = 0;  // instrumentation overhead, in gates
+};
+
+/// Build the instrumented model. `targets` are nets of the source netlist
+/// (they must not be input-port nets). Consumers of each target - gate
+/// inputs, flop D pins, RAM pins, output ports - are rewired to the
+/// saboteur's output; the original driver is untouched.
+InstrumentedModel instrumentWithSaboteurs(
+    const netlist::Netlist& source,
+    const std::vector<netlist::NetId>& targets);
+
+}  // namespace fades::synth

@@ -1,0 +1,264 @@
+#include "synth/techmap.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/error.hpp"
+
+namespace fades::synth {
+
+using common::ErrorKind;
+using common::require;
+using netlist::GateOp;
+using netlist::arity;
+
+namespace {
+
+struct Ctx {
+  const Netlist& nl;
+  std::vector<NetId> resolved;      // buffer-folded canonical net
+  std::vector<std::int8_t> cval;    // constant value or -1
+  std::vector<std::uint32_t> fanout;  // consumer count per canonical net
+  std::vector<std::uint8_t> visible;  // must exist physically
+  std::vector<std::int32_t> gateOf;   // canonical net -> driving gate or -1
+};
+
+/// Recursively evaluate the cone rooted at `net` under an assignment of the
+/// leaf nets. `leafVal` maps canonical net index -> value for leaves.
+bool evalCone(const Ctx& c, NetId net,
+              const std::unordered_map<std::uint32_t, bool>& leafVal) {
+  const NetId r = c.resolved[net.value];
+  if (c.cval[r.value] >= 0) return c.cval[r.value] != 0;
+  const auto it = leafVal.find(r.value);
+  if (it != leafVal.end()) return it->second;
+  const std::int32_t g = c.gateOf[r.value];
+  require(g >= 0, ErrorKind::SynthesisError,
+          "cone evaluation reached a non-gate non-leaf net");
+  const auto& gate = c.nl.gates()[static_cast<std::size_t>(g)];
+  const unsigned n = arity(gate.op);
+  const bool a = n > 0 && evalCone(c, gate.in[0], leafVal);
+  const bool b = n > 1 && evalCone(c, gate.in[1], leafVal);
+  const bool s = n > 2 && evalCone(c, gate.in[2], leafVal);
+  return netlist::evalGate(gate.op, a, b, s);
+}
+
+}  // namespace
+
+MappedDesign techmap(const Netlist& nl) {
+  const std::size_t nNets = nl.netCount();
+  Ctx c{nl,
+        std::vector<NetId>(nNets),
+        std::vector<std::int8_t>(nNets, -1),
+        std::vector<std::uint32_t>(nNets, 0),
+        std::vector<std::uint8_t>(nNets, 0),
+        std::vector<std::int32_t>(nNets, -1)};
+
+  const auto topo = nl.topoOrder();
+
+  // 1. Buffer folding + constant propagation, in topological order.
+  for (std::uint32_t i = 0; i < nNets; ++i) c.resolved[i] = NetId{i};
+  for (const auto gid : topo) {
+    const auto& g = nl.gate(gid);
+    const NetId out = g.out;
+    switch (g.op) {
+      case GateOp::Const0:
+        c.cval[out.value] = 0;
+        break;
+      case GateOp::Const1:
+        c.cval[out.value] = 1;
+        break;
+      case GateOp::Buf: {
+        const NetId src = c.resolved[g.in[0].value];
+        c.resolved[out.value] = src;
+        c.cval[out.value] = c.cval[src.value];
+        break;
+      }
+      default: {
+        // Evaluate if all non-constant inputs are constant.
+        const unsigned n = arity(g.op);
+        bool allConst = true;
+        bool v[3] = {false, false, false};
+        for (unsigned k = 0; k < n; ++k) {
+          const NetId src = c.resolved[g.in[k].value];
+          if (c.cval[src.value] < 0) {
+            allConst = false;
+            break;
+          }
+          v[k] = c.cval[src.value] != 0;
+        }
+        if (allConst) {
+          c.cval[out.value] =
+              netlist::evalGate(g.op, v[0], v[1], v[2]) ? 1 : 0;
+        }
+        c.gateOf[out.value] = static_cast<std::int32_t>(gid.value);
+        break;
+      }
+    }
+  }
+  // Resolve transitive buffer chains and propagate gate ownership.
+  for (std::uint32_t i = 0; i < nNets; ++i) {
+    NetId r = c.resolved[i];
+    while (c.resolved[r.value] != r) r = c.resolved[r.value];
+    c.resolved[i] = r;
+  }
+
+  // 2. Consumer counts and visibility over canonical nets.
+  auto consume = [&](NetId n) {
+    if (c.cval[c.resolved[n.value].value] < 0) {
+      ++c.fanout[c.resolved[n.value].value];
+    }
+  };
+  auto makeVisible = [&](NetId n) { c.visible[c.resolved[n.value].value] = 1; };
+  for (const auto& g : nl.gates()) {
+    if (g.op == GateOp::Buf || g.op == GateOp::Const0 ||
+        g.op == GateOp::Const1) {
+      continue;
+    }
+    for (unsigned k = 0; k < arity(g.op); ++k) consume(g.in[k]);
+  }
+  for (const auto& f : nl.flops()) {
+    consume(f.d);
+    makeVisible(f.d);
+  }
+  for (const auto& r : nl.rams()) {
+    for (NetId n : r.addr) {
+      consume(n);
+      makeVisible(n);
+    }
+    for (NetId n : r.dataIn) {
+      consume(n);
+      makeVisible(n);
+    }
+    if (r.writeEnable.valid()) {
+      consume(r.writeEnable);
+      makeVisible(r.writeEnable);
+    }
+  }
+  for (const auto& p : nl.outputs()) {
+    for (NetId n : p.nets) {
+      consume(n);
+      makeVisible(n);
+    }
+  }
+
+  // 3. Cone leaves per gate (greedy fanout-free merging), topo order.
+  //    A fanin is absorbed when it is gate-driven, single-fanout, not
+  //    visible, and the merged leaf set still fits in 4 inputs.
+  std::vector<std::vector<NetId>> leavesOf(nl.gateCount());
+  auto isGateDriven = [&](NetId r) { return c.gateOf[r.value] >= 0; };
+  for (const auto gid : topo) {
+    const auto& g = nl.gate(gid);
+    if (g.op == GateOp::Buf || g.op == GateOp::Const0 ||
+        g.op == GateOp::Const1) {
+      continue;
+    }
+    // Base leaf set: the gate's own (non-constant) fanins.
+    std::vector<NetId> leaves;
+    for (unsigned k = 0; k < arity(g.op); ++k) {
+      const NetId r = c.resolved[g.in[k].value];
+      if (c.cval[r.value] >= 0) continue;  // constants fold into the table
+      if (std::find(leaves.begin(), leaves.end(), r) == leaves.end()) {
+        leaves.push_back(r);
+      }
+    }
+    // Replacement-style merging: absorb a child cone only when the full
+    // resulting leaf set (child leaves plus all remaining fanins) fits.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t k = 0; k < leaves.size(); ++k) {
+        const NetId r = leaves[k];
+        if (!isGateDriven(r) || c.fanout[r.value] != 1 ||
+            c.visible[r.value]) {
+          continue;
+        }
+        const auto& child =
+            leavesOf[static_cast<std::size_t>(c.gateOf[r.value])];
+        std::vector<NetId> candidate;
+        for (std::size_t j = 0; j < leaves.size(); ++j) {
+          if (j != k) candidate.push_back(leaves[j]);
+        }
+        for (NetId l : child) {
+          if (std::find(candidate.begin(), candidate.end(), l) ==
+              candidate.end()) {
+            candidate.push_back(l);
+          }
+        }
+        if (candidate.size() <= 4) {
+          leaves = std::move(candidate);
+          changed = true;
+          break;
+        }
+      }
+    }
+    require(leaves.size() <= 4, ErrorKind::SynthesisError,
+            "cone exceeds 4 leaves");
+    leavesOf[gid.value] = std::move(leaves);
+  }
+
+  // 4. Select LUT roots: gates producing visible nets, plus transitively
+  //    every gate appearing as a leaf of a selected root's cone.
+  std::vector<std::uint8_t> isRoot(nl.gateCount(), 0);
+  std::vector<std::uint32_t> work;
+  auto addRoot = [&](std::uint32_t g) {
+    if (!isRoot[g]) {
+      isRoot[g] = 1;
+      work.push_back(g);
+    }
+  };
+  for (std::uint32_t i = 0; i < nNets; ++i) {
+    if (c.visible[i] && c.resolved[i].value == i && c.gateOf[i] >= 0 &&
+        c.cval[i] < 0) {
+      addRoot(static_cast<std::uint32_t>(c.gateOf[i]));
+    }
+  }
+  // Multi-fanout internal nets also need physical LUTs when consumed by
+  // another cone as a leaf.
+  while (!work.empty()) {
+    const std::uint32_t g = work.back();
+    work.pop_back();
+    for (NetId leaf : leavesOf[g]) {
+      if (isGateDriven(leaf)) {
+        addRoot(static_cast<std::uint32_t>(c.gateOf[leaf.value]));
+      }
+    }
+  }
+
+  // 5. Emit LUTs with computed truth tables.
+  MappedDesign out;
+  out.resolved = c.resolved;
+  out.constVal = c.cval;
+  out.lutOfNet.assign(nNets, 0);
+  for (const auto gid : topo) {
+    if (!isRoot[gid.value]) continue;
+    const auto& g = nl.gate(gid);
+    MappedLut lut;
+    lut.unit = g.unit;
+    lut.out = g.out;
+    const auto& leaves = leavesOf[gid.value];
+    lut.leafCount = static_cast<unsigned>(leaves.size());
+    for (unsigned k = 0; k < lut.leafCount; ++k) lut.leaves[k] = leaves[k];
+    for (unsigned idx = 0; idx < 16; ++idx) {
+      std::unordered_map<std::uint32_t, bool> leafVal;
+      for (unsigned k = 0; k < lut.leafCount; ++k) {
+        leafVal[leaves[k].value] = (idx >> k) & 1u;
+      }
+      if (evalCone(c, g.out, leafVal)) {
+        lut.table |= static_cast<std::uint16_t>(1u << idx);
+      }
+    }
+    out.lutOfNet[g.out.value] = static_cast<std::uint32_t>(out.luts.size()) + 1;
+    out.luts.push_back(lut);
+  }
+  return out;
+}
+
+bool evalMappedLut(const MappedLut& lut, const std::vector<bool>& leafValues) {
+  unsigned idx = 0;
+  for (unsigned k = 0; k < lut.leafCount; ++k) {
+    if (leafValues[k]) idx |= 1u << k;
+  }
+  return (lut.table >> idx) & 1u;
+}
+
+}  // namespace fades::synth

@@ -1,0 +1,273 @@
+#include "vfit/vfit.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fades::vfit {
+
+using common::ErrorKind;
+using common::raise;
+using common::require;
+using common::Rng;
+
+VfitTool::VfitTool(const Netlist& netlist, std::uint64_t runCycles,
+                   VfitOptions options)
+    : nl_(netlist), runCycles_(runCycles), opt_(std::move(options)) {
+  sim_ = std::make_unique<sim::Simulator>(nl_);
+
+  // Golden run: trace, checkpoints, final state, event count.
+  sim_->reset();
+  const auto eventsBefore = sim_->eventsProcessed();
+  golden_.outputs.reserve(runCycles_);
+  for (std::uint64_t c = 0; c < runCycles_; ++c) {
+    if (c % opt_.checkpointInterval == 0) {
+      checkpoints_.push_back(sim_->snapshot());
+    }
+    golden_.outputs.push_back(outputWord());
+    sim_->step();
+  }
+  captureFinalState(golden_);
+  goldenEvents_ = sim_->eventsProcessed() - eventsBefore;
+  goldenSeconds_ = static_cast<double>(goldenEvents_) * opt_.secondsPerEvent;
+}
+
+std::uint64_t VfitTool::outputWord() const {
+  std::uint64_t w = 0;
+  unsigned shift = 0;
+  for (const auto& port : opt_.observedOutputs) {
+    w |= sim_->portValue(port) << shift;
+    shift += 16;
+  }
+  return w;
+}
+
+void VfitTool::captureFinalState(Observation& obs) const {
+  obs.finalFlops.clear();
+  obs.finalFlops.reserve(nl_.flopCount());
+  for (std::uint32_t f = 0; f < nl_.flopCount(); ++f) {
+    obs.finalFlops.push_back(sim_->flopState(FlopId{f}) ? 1 : 0);
+  }
+  obs.finalMemory.clear();
+  for (std::uint32_t r = 0; r < nl_.ramCount(); ++r) {
+    const auto& ram = nl_.ram(RamId{r});
+    for (std::size_t row = 0; row < ram.depth(); ++row) {
+      obs.finalMemory.push_back(sim_->ramWord(RamId{r}, row));
+    }
+  }
+}
+
+std::vector<FlopId> VfitTool::flopTargets(Unit unit) const {
+  std::vector<FlopId> out;
+  for (std::uint32_t f = 0; f < nl_.flopCount(); ++f) {
+    if (unit == Unit::None || nl_.flops()[f].unit == unit) {
+      out.push_back(FlopId{f});
+    }
+  }
+  return out;
+}
+
+std::vector<NetId> VfitTool::signalTargets(Unit unit) const {
+  // HDL-level signals: nets with a name, driven by combinational logic.
+  std::vector<NetId> out;
+  for (const auto& g : nl_.gates()) {
+    if (g.op == netlist::GateOp::Const0 || g.op == netlist::GateOp::Const1) {
+      continue;
+    }
+    if (unit != Unit::None && g.unit != unit) continue;
+    if (!nl_.netName(g.out).empty()) out.push_back(g.out);
+  }
+  return out;
+}
+
+std::vector<RamId> VfitTool::ramTargets() const {
+  std::vector<RamId> out;
+  for (std::uint32_t r = 0; r < nl_.ramCount(); ++r) {
+    if (!nl_.ram(RamId{r}).isRom()) out.push_back(RamId{r});
+  }
+  return out;
+}
+
+const sim::Snapshot& VfitTool::checkpointAtOrBefore(
+    std::uint64_t cycle, std::uint64_t& ckCycle) const {
+  const std::size_t idx =
+      std::min<std::size_t>(cycle / opt_.checkpointInterval,
+                            checkpoints_.size() - 1);
+  ckCycle = idx * opt_.checkpointInterval;
+  return checkpoints_[idx];
+}
+
+Outcome VfitTool::runExperiment(FaultModel model, TargetClass targets,
+                                std::uint32_t targetIndex,
+                                std::uint64_t injectCycle,
+                                double durationCycles, Rng& rng,
+                                double* modeledSeconds) {
+  require(supports(model), ErrorKind::InjectionError,
+          "VFIT cannot inject delay faults (no generic delay clauses)");
+  require(injectCycle < runCycles_, ErrorKind::InvalidArgument,
+          "injection instant beyond workload");
+
+  unsigned commands = 0;
+
+  // Replay from the closest golden checkpoint (wall-clock shortcut; the
+  // modeled cost below always charges a complete simulation).
+  std::uint64_t ckCycle = 0;
+  sim_->restore(checkpointAtOrBefore(injectCycle, ckCycle));
+  for (std::uint64_t c = ckCycle; c < injectCycle; ++c) sim_->step();
+
+  // Faulty trace: the pre-injection prefix equals the golden trace by
+  // determinism; everything from the injection instant on is observed live,
+  // including the cycles stepped while the fault is active.
+  Observation faulty;
+  faulty.outputs.assign(golden_.outputs.begin(),
+                        golden_.outputs.begin() +
+                            static_cast<std::ptrdiff_t>(injectCycle));
+  auto stepObserved = [&] {
+    faulty.outputs.push_back(outputWord());
+    sim_->step();
+  };
+
+  // Sub-cycle faults hit a sampling edge with probability = duration.
+  std::uint64_t effectiveCycles;
+  if (durationCycles < 1.0) {
+    effectiveCycles = rng.uniform01() < durationCycles ? 1 : 0;
+  } else {
+    effectiveCycles = static_cast<std::uint64_t>(durationCycles + 0.5);
+  }
+
+  switch (model) {
+    case FaultModel::BitFlip: {
+      if (targets == TargetClass::SequentialFF) {
+        const FlopId f{targetIndex};
+        sim_->depositFlop(f, !sim_->flopState(f));
+        ++commands;
+      } else {
+        // Memory bit-flip: targetIndex encodes ram<<24 | row<<8 | bit.
+        const RamId ram{targetIndex >> 24};
+        const std::size_t row = (targetIndex >> 8) & 0xFFFF;
+        const unsigned bit = targetIndex & 0xFF;
+        sim_->depositRam(ram, row,
+                         sim_->ramWord(ram, row) ^ (1ULL << bit));
+        ++commands;
+      }
+      break;
+    }
+    case FaultModel::Pulse: {
+      const NetId net{targetIndex};
+      // Invert the driven value across the active window, re-forcing every
+      // cycle so the inversion tracks the (changing) fault-free value.
+      for (std::uint64_t k = 0;
+           k < effectiveCycles && sim_->cycle() < runCycles_; ++k) {
+        sim_->release(net);
+        ++commands;
+        sim_->force(net, !sim_->netValue(net));
+        ++commands;
+        stepObserved();
+      }
+      sim_->release(net);
+      ++commands;
+      break;
+    }
+    case FaultModel::Indetermination: {
+      bool value = rng.coin();
+      if (targets == TargetClass::SequentialFF) {
+        const FlopId f{targetIndex};
+        for (std::uint64_t k = 0;
+             k < effectiveCycles && sim_->cycle() < runCycles_; ++k) {
+          if (opt_.oscillatingIndetermination && k > 0) value = rng.coin();
+          sim_->depositFlop(f, value);
+          ++commands;
+          stepObserved();
+        }
+      } else {
+        const NetId net{targetIndex};
+        for (std::uint64_t k = 0;
+             k < effectiveCycles && sim_->cycle() < runCycles_; ++k) {
+          if (opt_.oscillatingIndetermination && k > 0) value = rng.coin();
+          sim_->force(net, value);
+          ++commands;
+          stepObserved();
+        }
+        sim_->release(net);
+        ++commands;
+      }
+      break;
+    }
+    case FaultModel::Delay:
+      raise(ErrorKind::InjectionError, "unreachable");
+  }
+
+  // Run to completion, observing outputs.
+  while (sim_->cycle() < runCycles_) stepObserved();
+  captureFinalState(faulty);
+
+  if (modeledSeconds != nullptr) {
+    *modeledSeconds = opt_.secondsFixedPerExperiment + goldenSeconds_ +
+                      commands * opt_.secondsPerCommand;
+  }
+  return campaign::classify(golden_, faulty);
+}
+
+CampaignResult VfitTool::runCampaign(const CampaignSpec& spec) {
+  CampaignResult result;
+  result.spec = spec;
+  Rng rng(spec.seed);
+  const auto unit = static_cast<Unit>(spec.unit);
+
+  // Enumerate targets up front (the fault-location process).
+  std::vector<std::uint32_t> targets = spec.targetPool;
+  if (targets.empty()) {
+    switch (spec.targets) {
+    case TargetClass::SequentialFF:
+      for (auto f : flopTargets(unit)) targets.push_back(f.value);
+      break;
+    case TargetClass::MemoryBlockBit: {
+      for (auto r : ramTargets()) {
+        const auto& ram = nl_.ram(r);
+        // Encode every stored bit as a target.
+        for (std::size_t row = 0; row < ram.depth(); ++row) {
+          for (unsigned bit = 0; bit < ram.dataBits; ++bit) {
+            targets.push_back((r.value << 24) |
+                              (static_cast<std::uint32_t>(row) << 8) | bit);
+          }
+        }
+      }
+      break;
+    }
+    case TargetClass::CombinationalLut:
+    case TargetClass::CbInputLine:
+    case TargetClass::CombinationalLine:
+      for (auto n : signalTargets(unit)) targets.push_back(n.value);
+      break;
+    case TargetClass::SequentialLine:
+      for (auto f : flopTargets(unit)) {
+        targets.push_back(nl_.flops()[f.value].q.value);
+      }
+      break;
+  }
+  }
+  require(!targets.empty(), ErrorKind::InjectionError,
+          "no VFIT targets in the selected unit");
+
+  for (unsigned e = 0; e < spec.experiments; ++e) {
+    // Same stream derivation as the FADES campaign loop so that identical
+    // specs over identical pools draw identical faults in both tools.
+    Rng erng = rng.fork(e * 131);
+    const auto target = targets[erng.below(targets.size())];
+    const auto injectCycle = erng.below(runCycles_);
+    const double duration =
+        spec.band.minCycles +
+        erng.uniform01() * (spec.band.maxCycles - spec.band.minCycles);
+    double seconds = 0;
+    const Outcome o = runExperiment(spec.model, spec.targets, target,
+                                    injectCycle, duration, erng, &seconds);
+    result.add(o, seconds);
+    if (opt_.keepRecords) {
+      result.records.push_back(campaign::ExperimentRecord{
+          std::to_string(target), injectCycle, duration, o, seconds});
+    }
+  }
+  return result;
+}
+
+}  // namespace fades::vfit

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "bits/config_port.hpp"
+#include "fpga/device.hpp"
+
+namespace fades::bits {
+namespace {
+
+using fpga::BramField;
+using fpga::CbCoord;
+using fpga::CbField;
+using fpga::Device;
+using fpga::DeviceSpec;
+using fpga::FrameAddr;
+using fpga::Plane;
+
+TEST(ConfigPort, FrameReadWriteRoundTrip) {
+  Device dev(DeviceSpec::small());
+  ConfigPort port(dev);
+  const FrameAddr f{Plane::Logic, 3, 1};
+  auto bytes = port.readLogicFrame(f);
+  bytes[5] = 0xA5;
+  port.writeLogicFrame(f, bytes);
+  const auto back = port.readLogicFrame(f);
+  EXPECT_EQ(back[5], 0xA5);
+}
+
+TEST(ConfigPort, MeterCountsBytesAndOps) {
+  Device dev(DeviceSpec::small());
+  ConfigPort port(dev);
+  EXPECT_EQ(port.meter().readOps, 0u);
+
+  (void)port.readLogicFrame(FrameAddr{Plane::Logic, 0, 0});
+  EXPECT_EQ(port.meter().readOps, 1u);
+  EXPECT_EQ(port.meter().bytesFromDevice, dev.spec().frameBytes);
+
+  auto bytes = port.readLogicFrame(FrameAddr{Plane::Logic, 0, 0});
+  port.writeLogicFrame(FrameAddr{Plane::Logic, 0, 0}, bytes);
+  EXPECT_EQ(port.meter().writeOps, 1u);
+  EXPECT_EQ(port.meter().bytesToDevice, dev.spec().frameBytes);
+
+  port.pulseGsr();
+  EXPECT_EQ(port.meter().commandOps, 1u);
+
+  port.beginSession();
+  EXPECT_EQ(port.meter().sessions, 1u);
+
+  port.resetMeter();
+  EXPECT_EQ(port.meter().readOps, 0u);
+  EXPECT_EQ(port.meter().bytesFromDevice, 0u);
+}
+
+TEST(ConfigPort, LutHelperDoesReadModifyWriteTraffic) {
+  Device dev(DeviceSpec::small());
+  ConfigPort port(dev);
+  const CbCoord cb{4, 4};
+  port.setLutTable(cb, 0xBEEF);
+  EXPECT_EQ(port.getLutTable(cb), 0xBEEF);
+  // RMW traffic happened: at least one read and one write.
+  EXPECT_GE(port.meter().readOps, 2u);
+  EXPECT_GE(port.meter().writeOps, 1u);
+  // And the device agrees bit-by-bit.
+  EXPECT_EQ(dev.logicBit(dev.layout().cbLutBit(cb, 0)), true);   // 0xBEEF bit0
+  EXPECT_EQ(dev.logicBit(dev.layout().cbLutBit(cb, 4)), false);  // bit4
+}
+
+TEST(ConfigPort, CbFieldHelperRoundTrip) {
+  Device dev(DeviceSpec::small());
+  ConfigPort port(dev);
+  const CbCoord cb{2, 7};
+  EXPECT_FALSE(port.getCbFieldBit(cb, CbField::InvLsr));
+  port.setCbFieldBit(cb, CbField::InvLsr, true);
+  EXPECT_TRUE(port.getCbFieldBit(cb, CbField::InvLsr));
+  EXPECT_TRUE(dev.logicBit(dev.layout().cbFieldBit(cb, CbField::InvLsr)));
+  port.setCbFieldBit(cb, CbField::InvLsr, false);
+  EXPECT_FALSE(port.getCbFieldBit(cb, CbField::InvLsr));
+}
+
+TEST(ConfigPort, BramBitHelperRoundTrip) {
+  Device dev(DeviceSpec::small());
+  ConfigPort port(dev);
+  EXPECT_FALSE(port.getBramBit(1, 777));
+  port.setBramBit(1, 777, true);
+  EXPECT_TRUE(port.getBramBit(1, 777));
+  EXPECT_TRUE(dev.bramBit(dev.layout().bramContentBit(1, 777)));
+}
+
+TEST(ConfigPort, FullBitstreamMetersWholeImage) {
+  Device dev(DeviceSpec::small());
+  ConfigPort port(dev);
+  const auto bs = port.readbackFull();
+  EXPECT_EQ(port.meter().bytesFromDevice, dev.layout().totalConfigBytes());
+  port.writeFullBitstream(bs);
+  EXPECT_EQ(port.meter().bytesToDevice, dev.layout().totalConfigBytes());
+}
+
+TEST(BoardLink, CostModelComposition) {
+  BoardLink link;
+  link.bytesPerSecond = 1e6;
+  link.perOpSeconds = 0.01;
+  link.perSessionSeconds = 0.2;
+  TransferMeter m;
+  m.bytesToDevice = 500000;
+  m.bytesFromDevice = 500000;
+  m.writeOps = 3;
+  m.readOps = 2;
+  m.commandOps = 1;
+  m.sessions = 2;
+  EXPECT_NEAR(link.seconds(m), 1.0 + 0.06 + 0.4, 1e-9);
+}
+
+TEST(BoardLink, MeterAccumulation) {
+  TransferMeter a, b;
+  a.bytesToDevice = 10;
+  a.writeOps = 1;
+  b.bytesToDevice = 5;
+  b.sessions = 1;
+  a += b;
+  EXPECT_EQ(a.bytesToDevice, 15u);
+  EXPECT_EQ(a.writeOps, 1u);
+  EXPECT_EQ(a.sessions, 1u);
+}
+
+TEST(ConfigPort, ReadFfStateViaCapturePlane) {
+  Device dev(DeviceSpec::small());
+  ConfigPort port(dev);
+  // Configure a standalone FF preset to 1 and read its state back.
+  const CbCoord cb{5, 6};
+  dev.setLogicBit(dev.layout().cbFieldBit(cb, CbField::FfUsed), true);
+  dev.setLogicBit(dev.layout().cbFieldBit(cb, CbField::SrMode), true);
+  dev.pulseGsr();
+  EXPECT_TRUE(port.readFfState(cb));
+  EXPECT_GE(port.meter().captureOps, 1u);
+}
+
+}  // namespace
+}  // namespace fades::bits

@@ -1,0 +1,289 @@
+// Tests for the framework extensions: saboteur instrumentation (CTR
+// baseline), bitstream serialization, VCD tracing, and multiple bit-flips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/fades.hpp"
+#include "fpga/bitstream_io.hpp"
+#include "rtl/builder.hpp"
+#include "sim/simulator.hpp"
+#include "sim/vcd.hpp"
+#include "synth/implement.hpp"
+#include "synth/instrument.hpp"
+
+namespace fades {
+namespace {
+
+using common::FadesError;
+using common::Rng;
+using netlist::Netlist;
+using netlist::Unit;
+using rtl::Builder;
+using rtl::Bus;
+using sim::Simulator;
+
+// ----------------------------------------------------- instrumentation -----
+
+Netlist smallAluModel() {
+  Builder b;
+  Bus a = b.input("a", 4);
+  Bus c = b.input("c", 4);
+  auto sum = b.add(a, c, {});
+  b.nameBus("sum_net", sum.sum);
+  b.output("sum", sum.sum);
+  b.output("cout", sum.carryOut);
+  return b.finish();
+}
+
+TEST(Instrument, DisabledSaboteursAreTransparent) {
+  Netlist model = smallAluModel();
+  const auto targets = std::vector<netlist::NetId>{
+      *model.findNet("sum_net[0]"), *model.findNet("sum_net[2]")};
+  const auto inst = synth::instrumentWithSaboteurs(model, targets);
+
+  Simulator ref(model), sab(inst.netlist);
+  sab.setInput("sab_enable", 0);
+  sab.setInput("sab_select", 0);
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned c = 0; c < 16; ++c) {
+      ref.setInput("a", a);
+      ref.setInput("c", c);
+      sab.setInput("a", a);
+      sab.setInput("c", c);
+      ref.settle();
+      sab.settle();
+      ASSERT_EQ(ref.portValue("sum"), sab.portValue("sum")) << a << "," << c;
+      ASSERT_EQ(ref.portValue("cout"), sab.portValue("cout"));
+    }
+  }
+}
+
+TEST(Instrument, EnabledSaboteurInvertsExactlyTheSelectedNet) {
+  Netlist model = smallAluModel();
+  const auto targets = std::vector<netlist::NetId>{
+      *model.findNet("sum_net[0]"), *model.findNet("sum_net[2]")};
+  const auto inst = synth::instrumentWithSaboteurs(model, targets);
+
+  Simulator ref(model), sab(inst.netlist);
+  for (const auto& [net, selector] : inst.selectors) {
+    const unsigned bit = (net == targets[0]) ? 0u : 2u;
+    sab.setInput("sab_enable", 1);
+    sab.setInput("sab_select", selector);
+    for (unsigned a = 0; a < 16; a += 3) {
+      for (unsigned c = 0; c < 16; c += 5) {
+        ref.setInput("a", a);
+        ref.setInput("c", c);
+        sab.setInput("a", a);
+        sab.setInput("c", c);
+        ref.settle();
+        sab.settle();
+        ASSERT_EQ(sab.portValue("sum"),
+                  ref.portValue("sum") ^ (1u << bit))
+            << "selector " << selector;
+      }
+    }
+  }
+}
+
+TEST(Instrument, CountsOverheadAndRejectsBadTargets) {
+  Netlist model = smallAluModel();
+  const auto inst = synth::instrumentWithSaboteurs(
+      model, {*model.findNet("sum_net[1]")});
+  EXPECT_GT(inst.saboteurGates, 0u);
+  EXPECT_EQ(inst.selectBits, 1u);
+
+  Netlist model2 = smallAluModel();
+  // Input-port nets cannot host a saboteur.
+  EXPECT_THROW(synth::instrumentWithSaboteurs(
+                   model2, {model2.inputs()[0].nets[0]}),
+               FadesError);
+}
+
+TEST(Instrument, InstrumentedModelStillSynthesizes) {
+  Netlist model = smallAluModel();
+  const auto inst = synth::instrumentWithSaboteurs(
+      model, {*model.findNet("sum_net[0]"), *model.findNet("sum_net[3]")});
+  const auto impl =
+      synth::implement(inst.netlist, fpga::DeviceSpec::small());
+  EXPECT_GT(impl.stats.luts, 0u);
+}
+
+// --------------------------------------------------------- bitstream io -----
+
+TEST(BitstreamIo, RoundTripPreservesEverything) {
+  Builder b;
+  rtl::Register r = b.makeRegister("r", 4, 5);
+  b.connect(r, b.increment(r.q));
+  b.output("r", r.q);
+  const auto impl = synth::implement(b.finish(), fpga::DeviceSpec::small());
+
+  const auto bytes =
+      fpga::serializeBitstream(fpga::DeviceSpec::small(), impl.bitstream);
+  const auto back =
+      fpga::deserializeBitstream(fpga::DeviceSpec::small(), bytes);
+  EXPECT_EQ(back.logic, impl.bitstream.logic);
+  EXPECT_EQ(back.bram, impl.bitstream.bram);
+}
+
+TEST(BitstreamIo, DetectsCorruption) {
+  Builder b;
+  b.output("y", b.lnot(b.inputBit("a")));
+  const auto impl = synth::implement(b.finish(), fpga::DeviceSpec::small());
+  auto bytes =
+      fpga::serializeBitstream(fpga::DeviceSpec::small(), impl.bitstream);
+  bytes[bytes.size() / 2] ^= 0x10;  // flip a payload bit
+  EXPECT_THROW(fpga::deserializeBitstream(fpga::DeviceSpec::small(), bytes),
+               FadesError);
+}
+
+TEST(BitstreamIo, RejectsWrongGeometryAndBadMagic) {
+  Builder b;
+  b.output("y", b.lnot(b.inputBit("a")));
+  const auto impl = synth::implement(b.finish(), fpga::DeviceSpec::small());
+  auto bytes =
+      fpga::serializeBitstream(fpga::DeviceSpec::small(), impl.bitstream);
+  EXPECT_THROW(fpga::deserializeBitstream(fpga::DeviceSpec::medium(), bytes),
+               FadesError);
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(fpga::deserializeBitstream(fpga::DeviceSpec::small(), bytes),
+               FadesError);
+}
+
+TEST(BitstreamIo, FileRoundTrip) {
+  Builder b;
+  b.output("y", b.lnot(b.inputBit("a")));
+  const auto impl = synth::implement(b.finish(), fpga::DeviceSpec::small());
+  const std::string path = ::testing::TempDir() + "/fades_test.bit";
+  fpga::saveBitstream(path, fpga::DeviceSpec::small(), impl.bitstream);
+  const auto back = fpga::loadBitstream(path, fpga::DeviceSpec::small());
+  EXPECT_EQ(back.logic, impl.bitstream.logic);
+  std::remove(path.c_str());
+
+  // A loaded configuration file actually configures a device.
+  fpga::Device dev(fpga::DeviceSpec::small());
+  dev.writeFullBitstream(back);
+  EXPECT_EQ(dev.usedLutCount(), impl.stats.luts);
+}
+
+TEST(BitstreamIo, Crc32KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE 802.3 check value).
+  const char* s = "123456789";
+  EXPECT_EQ(fpga::crc32(reinterpret_cast<const std::uint8_t*>(s), 9),
+            0xCBF43926u);
+}
+
+// ----------------------------------------------------------------- VCD -----
+
+TEST(Vcd, EmitsHeaderAndOnlyChanges) {
+  Builder b;
+  rtl::Register c = b.makeRegister("c", 2, 0);
+  b.connect(c, b.increment(c.q));
+  b.output("c", c.q);
+  b.output("msb", c.q[1]);
+  Netlist nl = b.finish();
+  Simulator s(nl);
+  sim::VcdWriter vcd(s, nl);
+  vcd.addAllOutputs();
+  for (std::uint64_t cy = 0; cy < 6; ++cy) {
+    vcd.sample(cy);
+    s.step();
+  }
+  const std::string text = vcd.str();
+  EXPECT_NE(text.find("$timescale 40 ns $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 2"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(text.find("#0"), std::string::npos);
+  // msb (bit 1) changes at cycle 2: timestamps present for changes only.
+  EXPECT_NE(text.find("#2"), std::string::npos);
+  EXPECT_EQ(text.find("#1\n1"), std::string::npos);  // msb did not change at 1
+  // Counter bus emitted MSB-first.
+  EXPECT_NE(text.find("b01 "), std::string::npos);
+  EXPECT_NE(text.find("b10 "), std::string::npos);
+}
+
+TEST(Vcd, SaveWritesFile) {
+  Builder b;
+  b.output("y", b.lnot(b.inputBit("a")));
+  Netlist nl = b.finish();
+  Simulator s(nl);
+  sim::VcdWriter vcd(s, nl);
+  vcd.addAllOutputs();
+  vcd.sample(0);
+  const std::string path = ::testing::TempDir() + "/fades_test.vcd";
+  vcd.save(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- multiple bit-flips -----
+
+TEST(Mbu, HigherMultiplicityNeverReducesCorruption) {
+  // On an LFSR whose bits all feed the output, flipping more bits at once
+  // keeps (or raises) the failure probability; a multiplicity-0-like check
+  // is the single-flip experiment.
+  Builder b;
+  b.setUnit(Unit::Registers);
+  rtl::Register lfsr = b.makeRegister("lfsr", 8, 1);
+  auto fb = b.lxor(lfsr.q[7], b.lxor(lfsr.q[5], b.lxor(lfsr.q[4], lfsr.q[3])));
+  rtl::Bus next{fb};
+  for (int i = 0; i < 7; ++i) next.push_back(lfsr.q[i]);
+  b.connect(lfsr, next);
+  b.output("out", lfsr.q);
+  const auto impl = synth::implement(b.finish(), fpga::DeviceSpec::small());
+  fpga::Device dev(impl.spec);
+  core::FadesOptions opt;
+  opt.observedOutputs = {"out"};
+  core::FadesTool tool(dev, impl, 48, opt);
+
+  Rng rng(3);
+  std::vector<std::uint32_t> one{0};
+  std::vector<std::uint32_t> many{0, 2, 4, 6};
+  const auto o1 = tool.runMultipleBitFlipExperiment(one, 10);
+  const auto o4 = tool.runMultipleBitFlipExperiment(many, 10);
+  // The LFSR state feeds the output directly: both corrupt it immediately.
+  EXPECT_EQ(o1, campaign::Outcome::Failure);
+  EXPECT_EQ(o4, campaign::Outcome::Failure);
+  // Configuration untouched afterwards.
+  EXPECT_EQ(dev.readbackBitstream().logic, impl.bitstream.logic);
+}
+
+TEST(Mbu, MatchesSequenceOfSingleFlipsSemantically) {
+  // Flipping {f1, f2} at cycle t must equal flipping f1 then f2 at the same
+  // instant (both before the next edge) - verified against the simulator.
+  Builder b;
+  b.setUnit(Unit::Registers);
+  rtl::Register cnt = b.makeRegister("cnt", 4, 0);
+  b.connect(cnt, b.increment(cnt.q));
+  b.output("out", cnt.q);
+  Netlist nl = b.finish();
+  const auto impl = synth::implement(nl, fpga::DeviceSpec::small());
+  fpga::Device dev(impl.spec);
+  core::FadesOptions opt;
+  opt.observedOutputs = {"out"};
+  core::FadesTool tool(dev, impl, 32, opt);
+
+  // cnt = 5 at cycle 5; flipping bits 0 and 1 gives 6 ^ ... compute: 5 =
+  // 0101b; flip bits 0,1 -> 0110b = 6.
+  std::uint32_t bit0 = 0, bit1 = 0;
+  for (std::uint32_t i = 0; i < impl.flops.size(); ++i) {
+    if (impl.flops[i].name == "cnt[0]") bit0 = i;
+    if (impl.flops[i].name == "cnt[1]") bit1 = i;
+  }
+  std::vector<std::uint32_t> both{bit0, bit1};
+  const auto o = tool.runMultipleBitFlipExperiment(both, 5);
+  EXPECT_EQ(o, campaign::Outcome::Failure);  // counter value diverges
+
+  // Reference: the simulator with two deposits.
+  Simulator s(nl);
+  s.run(5);
+  EXPECT_EQ(s.portValue("out"), 5u);
+  s.depositFlop(*nl.findFlop("cnt[0]"), false);
+  s.depositFlop(*nl.findFlop("cnt[1]"), true);
+  EXPECT_EQ(s.portValue("out"), 6u);
+}
+
+}  // namespace
+}  // namespace fades

@@ -1,0 +1,578 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "fpga/device.hpp"
+#include "fpga/layout.hpp"
+#include "fpga/spec.hpp"
+
+namespace fades::fpga {
+namespace {
+
+using common::FadesError;
+
+// ------------------------------------------------------------- layout -----
+
+TEST(Layout, RecordSizes) {
+  ConfigLayout l(DeviceSpec::small());  // tracks = 12
+  EXPECT_EQ(l.cbRecordBits(), 24u + 14u * 12u);
+  EXPECT_EQ(l.pmRecordBits(), 6u * 12u);
+  EXPECT_EQ(l.padRecordBits(), 8u + 2u * 12u);
+  EXPECT_EQ(l.bramRecordBits(), 8u + 45u * 24u);
+}
+
+TEST(Layout, Virtex1000LikeScale) {
+  const auto spec = DeviceSpec::virtex1000Like();
+  ConfigLayout l(spec);
+  EXPECT_EQ(spec.lutCount(), 24576u);  // paper Section 7.1
+  EXPECT_EQ(spec.ffCount(), 24576u);
+  // Full configuration in the hundreds of kilobytes to a few megabytes,
+  // like a real Virtex-1000 (~750 KB).
+  EXPECT_GT(l.totalConfigBytes(), 400u * 1024u);
+  EXPECT_LT(l.totalConfigBytes(), 4u * 1024u * 1024u);
+}
+
+TEST(Layout, AddressesAreUniqueAcrossResourceKinds) {
+  ConfigLayout l(DeviceSpec::small());
+  std::set<std::size_t> seen;
+  auto check = [&](std::size_t addr) {
+    EXPECT_TRUE(seen.insert(addr).second) << "duplicate address " << addr;
+    EXPECT_LT(addr, l.logicPlaneBits());
+  };
+  // Sample a spread of resources.
+  for (std::uint16_t x : {0, 3, 11}) {
+    for (std::uint16_t y : {0, 5, 11}) {
+      CbCoord cb{x, y};
+      for (unsigned i = 0; i < 16; ++i) check(l.cbLutBit(cb, i));
+      check(l.cbFieldBit(cb, CbField::InvLsr));
+      check(l.cbFieldBit(cb, CbField::SrMode));
+      for (unsigned t : {0u, 11u}) {
+        check(l.cbInConnBit(cb, CbInPin::I0, false, t));
+        check(l.cbInConnBit(cb, CbInPin::Byp, true, t));
+        check(l.cbOutConnBit(cb, CbOutPin::Lut, false, t));
+        check(l.cbOutConnBit(cb, CbOutPin::Ff, true, t));
+      }
+    }
+  }
+  for (std::uint16_t x : {0, 6, 12}) {
+    for (std::uint16_t y : {0, 6, 12}) {
+      check(l.pmSwitchBit(PmCoord{x, y}, 3, PmSwitch::WE));
+      check(l.pmSwitchBit(PmCoord{x, y}, 7, PmSwitch::EN));
+    }
+  }
+  for (unsigned p : {0u, 5u, 23u}) {
+    check(l.padFieldBit(p, PadField::Used));
+    check(l.padConnBit(p, false, 2));
+    check(l.padConnBit(p, true, 2));
+  }
+  for (unsigned b : {0u, 1u}) {
+    check(l.bramFieldBit(b, BramField::Used));
+    check(l.bramPinConnBit(b, 0, false, 0));
+    check(l.bramPinConnBit(b, 44, true, 11));
+  }
+}
+
+TEST(Layout, DecodeInvertsAccessors) {
+  ConfigLayout l(DeviceSpec::small());
+  {
+    const auto d = l.decode(l.cbLutBit(CbCoord{4, 7}, 9));
+    EXPECT_EQ(d.region, ConfigLayout::Decoded::Region::Cb);
+    EXPECT_EQ(d.cb, (CbCoord{4, 7}));
+    EXPECT_EQ(d.bitInRecord, 9u);
+  }
+  {
+    const auto d = l.decode(l.pmSwitchBit(PmCoord{12, 3}, 5, PmSwitch::WS));
+    EXPECT_EQ(d.region, ConfigLayout::Decoded::Region::Pm);
+    EXPECT_EQ(d.pm, (PmCoord{12, 3}));
+    EXPECT_EQ(d.bitInRecord, 5u * 6u + 3u);
+  }
+  {
+    const auto d = l.decode(l.padFieldBit(15, PadField::IsOutput));
+    EXPECT_EQ(d.region, ConfigLayout::Decoded::Region::Pad);
+    EXPECT_EQ(d.pad, 15u);
+  }
+  {
+    const auto d = l.decode(l.bramPinConnBit(1, 20, true, 3));
+    EXPECT_EQ(d.region, ConfigLayout::Decoded::Region::Bram);
+    EXPECT_EQ(d.block, 1u);
+  }
+}
+
+TEST(Layout, FrameMappingRoundTrip) {
+  ConfigLayout l(DeviceSpec::small());
+  for (std::size_t bit :
+       {std::size_t{0}, l.cbLutBit(CbCoord{5, 5}, 0),
+        l.pmSwitchBit(PmCoord{12, 12}, 11, PmSwitch::ES),
+        l.logicPlaneBits() - 1}) {
+    const FrameAddr f = l.frameOfLogicBit(bit);
+    const std::size_t first = l.logicFrameFirstBit(f);
+    EXPECT_LE(first, bit);
+    EXPECT_LT(bit - first, l.logicFrameBitCount(f));
+  }
+}
+
+TEST(Layout, BramFrameMapping) {
+  ConfigLayout l(DeviceSpec::small());  // frameBytes=64 -> 512 bits
+  const auto f = l.frameOfBramBit(1, 600);
+  EXPECT_EQ(f.plane, Plane::BramContent);
+  EXPECT_EQ(f.major, 1u);
+  EXPECT_EQ(f.minor, 1u);
+  EXPECT_EQ(l.bramFramesPerBlock(), 4u);  // 2048 bits / 512
+}
+
+// ------------------------------------------------------- routing nodes -----
+
+TEST(RoutingNodes, EncodeDecodeRoundTrip) {
+  const auto spec = DeviceSpec::small();
+  RoutingNodes n(spec);
+  {
+    const auto i = n.info(n.hseg(3, 12, 7));
+    EXPECT_EQ(i.kind, NodeKind::HSeg);
+    EXPECT_EQ(i.x, 3u);
+    EXPECT_EQ(i.y, 12u);
+    EXPECT_EQ(i.track, 7u);
+  }
+  {
+    const auto i = n.info(n.vseg(12, 3, 0));
+    EXPECT_EQ(i.kind, NodeKind::VSeg);
+    EXPECT_EQ(i.x, 12u);
+    EXPECT_EQ(i.y, 3u);
+  }
+  {
+    const auto i = n.info(n.cbIn(CbCoord{7, 8}, CbInPin::Byp));
+    EXPECT_EQ(i.kind, NodeKind::CbIn);
+    EXPECT_EQ(i.x, 7u);
+    EXPECT_EQ(i.y, 8u);
+    EXPECT_EQ(i.track, 4u);
+  }
+  {
+    const auto i = n.info(n.cbOut(CbCoord{0, 0}, CbOutPin::Ff));
+    EXPECT_EQ(i.kind, NodeKind::CbOut);
+    EXPECT_EQ(i.track, 1u);
+  }
+  {
+    const auto i = n.info(n.pad(23));
+    EXPECT_EQ(i.kind, NodeKind::Pad);
+    EXPECT_EQ(i.x, 23u);
+  }
+  {
+    const auto i = n.info(n.bramPin(1, 44));
+    EXPECT_EQ(i.kind, NodeKind::BramPin);
+    EXPECT_EQ(i.x, 1u);
+    EXPECT_EQ(i.track, 44u);
+  }
+}
+
+TEST(RoutingNodes, AllIdsDistinct) {
+  const auto spec = DeviceSpec::small();
+  RoutingNodes n(spec);
+  std::set<std::uint32_t> ids;
+  ids.insert(n.hseg(0, 0, 0));
+  ids.insert(n.hseg(spec.cols - 1, spec.rows, spec.tracks - 1));
+  ids.insert(n.vseg(0, 0, 0));
+  ids.insert(n.vseg(spec.cols, spec.rows - 1, spec.tracks - 1));
+  ids.insert(n.cbIn(CbCoord{0, 0}, CbInPin::I0));
+  ids.insert(n.cbOut(CbCoord{11, 11}, CbOutPin::Ff));
+  ids.insert(n.pad(0));
+  ids.insert(n.pad(23));
+  ids.insert(n.bramPin(0, 0));
+  ids.insert(n.bramPin(1, 44));
+  EXPECT_EQ(ids.size(), 10u);
+  for (auto id : ids) EXPECT_LT(id, n.count());
+}
+
+// ----------------------------------------------- hand-configured device -----
+
+/// Test helper: writes configuration bits directly (bitgen-style).
+struct Hand {
+  Device& d;
+  const ConfigLayout& l;
+
+  explicit Hand(Device& dev) : d(dev), l(dev.layout()) {}
+
+  void pm(unsigned x, unsigned y, unsigned t, PmSwitch sw) {
+    d.setLogicBit(l.pmSwitchBit(PmCoord{static_cast<std::uint16_t>(x),
+                                        static_cast<std::uint16_t>(y)},
+                                t, sw),
+                  true);
+  }
+  void inConn(CbCoord cb, CbInPin pin, bool vertical, unsigned t) {
+    d.setLogicBit(l.cbInConnBit(cb, pin, vertical, t), true);
+  }
+  void outConn(CbCoord cb, CbOutPin pin, bool vertical, unsigned t) {
+    d.setLogicBit(l.cbOutConnBit(cb, pin, vertical, t), true);
+  }
+  void lut(CbCoord cb, std::uint16_t table) {
+    for (unsigned i = 0; i < 16; ++i) {
+      d.setLogicBit(l.cbLutBit(cb, i), (table >> i) & 1u);
+    }
+    d.setLogicBit(l.cbFieldBit(cb, CbField::LutUsed), true);
+  }
+  void ff(CbCoord cb, bool fromByp = false, bool srMode = false) {
+    d.setLogicBit(l.cbFieldBit(cb, CbField::FfUsed), true);
+    d.setLogicBit(l.cbFieldBit(cb, CbField::FfInSrc), fromByp);
+    d.setLogicBit(l.cbFieldBit(cb, CbField::SrMode), srMode);
+  }
+  void inputPad(unsigned p) {
+    d.setLogicBit(l.padFieldBit(p, PadField::Used), true);
+  }
+  void outputPad(unsigned p) {
+    d.setLogicBit(l.padFieldBit(p, PadField::Used), true);
+    d.setLogicBit(l.padFieldBit(p, PadField::IsOutput), true);
+  }
+  void padConn(unsigned p, bool vertical, unsigned t) {
+    d.setLogicBit(l.padConnBit(p, vertical, t), true);
+  }
+};
+
+/// pad0 --> CB(1,1) LUT(NOT) --> pad1, routed by hand.
+void configureInverter(Device& dev) {
+  Hand h(dev);
+  const CbCoord cb{1, 1};
+  h.inputPad(0);
+  h.padConn(0, /*vertical=*/true, 0);  // pad0 -> VSeg(0,0,0)
+  h.pm(0, 1, 0, PmSwitch::ES);         // VSeg(0,0,0) -> HSeg(0,1,0)
+  h.pm(1, 1, 0, PmSwitch::WE);         // HSeg(0,1,0) -> HSeg(1,1,0)
+  h.inConn(cb, CbInPin::I0, /*vertical=*/false, 0);
+  h.lut(cb, 0x5555);  // NOT i0 (unconnected i1..i3 read 0)
+
+  h.outConn(cb, CbOutPin::Lut, /*vertical=*/false, 1);  // -> HSeg(1,1,1)
+  h.pm(1, 1, 1, PmSwitch::WE);                          // -> HSeg(0,1,1)
+  h.outputPad(1);
+  h.padConn(1, /*vertical=*/false, 1);  // pad1 <- HSeg(0,1,1)
+}
+
+TEST(Device, HandRoutedInverter) {
+  Device dev(DeviceSpec::small());
+  configureInverter(dev);
+  dev.setPadInput(0, false);
+  dev.settle();
+  EXPECT_TRUE(dev.padValue(1));
+  dev.setPadInput(0, true);
+  dev.settle();
+  EXPECT_FALSE(dev.padValue(1));
+  EXPECT_EQ(dev.usedLutCount(), 1u);
+  EXPECT_EQ(dev.usedFfCount(), 0u);
+}
+
+TEST(Device, LutTableRewriteChangesFunction) {
+  Device dev(DeviceSpec::small());
+  configureInverter(dev);
+  dev.setPadInput(0, true);
+  dev.settle();
+  EXPECT_FALSE(dev.padValue(1));
+  // Rewrite the LUT to a buffer: out = i0 (the pulse-fault mechanism).
+  Hand h(dev);
+  h.lut(CbCoord{1, 1}, 0xAAAA);
+  dev.settle();
+  EXPECT_TRUE(dev.padValue(1));
+}
+
+/// pad0 -> CB(2,2) LUT(BUF) -> FF -> pad2.
+void configureRegisteredBuffer(Device& dev, bool srMode = false) {
+  Hand h(dev);
+  const CbCoord cb{2, 2};
+  h.inputPad(0);
+  h.padConn(0, false, 0);     // pad0 -> HSeg(0,0,0)
+  h.pm(1, 0, 0, PmSwitch::WE);  // -> HSeg(1,0,0)
+  h.pm(2, 0, 0, PmSwitch::WN);  // -> VSeg(2,0,0)
+  h.pm(2, 1, 0, PmSwitch::NS);  // -> VSeg(2,1,0)
+  h.pm(2, 2, 0, PmSwitch::NS);  // -> VSeg(2,2,0)
+  h.inConn(cb, CbInPin::I0, true, 0);
+  h.lut(cb, 0xAAAA);  // BUF i0
+  h.ff(cb, /*fromByp=*/false, srMode);
+
+  h.outConn(cb, CbOutPin::Ff, true, 1);  // FF out -> VSeg(2,2,1)
+  h.pm(2, 2, 1, PmSwitch::WN);           // -> HSeg(1,2,1)
+  h.pm(1, 2, 1, PmSwitch::WE);           // -> HSeg(0,2,1)
+  h.outputPad(2);
+  h.padConn(2, false, 1);  // pad2 (west row 2)
+}
+
+TEST(Device, FlipFlopCapturesOnClockEdge) {
+  Device dev(DeviceSpec::small());
+  configureRegisteredBuffer(dev);
+  dev.setPadInput(0, true);
+  dev.settle();
+  EXPECT_FALSE(dev.padValue(2));  // not clocked yet
+  dev.step();
+  EXPECT_TRUE(dev.padValue(2));
+  dev.setPadInput(0, false);
+  dev.settle();
+  EXPECT_TRUE(dev.padValue(2));  // holds until next edge
+  dev.step();
+  EXPECT_FALSE(dev.padValue(2));
+  EXPECT_EQ(dev.usedFfCount(), 1u);
+}
+
+TEST(Device, GsrDrivesFfToSrMode) {
+  Device dev(DeviceSpec::small());
+  configureRegisteredBuffer(dev, /*srMode=*/true);
+  dev.setPadInput(0, false);
+  dev.step();
+  EXPECT_FALSE(dev.padValue(2));
+  dev.pulseGsr();
+  EXPECT_TRUE(dev.padValue(2));  // preset by PRMux selection
+  EXPECT_TRUE(dev.ffState(CbCoord{2, 2}));
+}
+
+TEST(Device, InvertLsrForcesAndReleasesFf) {
+  // The paper's LSR-based bit-flip (Section 4.1): reconfigure the
+  // InvertLSRMux to assert the local set/reset, then deassert it; the FF
+  // keeps the SrMode value afterwards.
+  Device dev(DeviceSpec::small());
+  configureRegisteredBuffer(dev, /*srMode=*/true);
+  dev.setPadInput(0, false);
+  dev.step();  // state = 0
+  EXPECT_FALSE(dev.padValue(2));
+
+  const auto invLsr = dev.layout().cbFieldBit(CbCoord{2, 2}, CbField::InvLsr);
+  dev.setLogicBit(invLsr, true);
+  dev.settle();
+  EXPECT_TRUE(dev.padValue(2));  // asynchronously set to 1
+
+  dev.setLogicBit(invLsr, false);
+  dev.settle();
+  EXPECT_TRUE(dev.padValue(2));  // the flipped state persists
+  dev.setPadInput(0, false);
+  dev.step();
+  EXPECT_FALSE(dev.padValue(2));  // normal operation resumes
+}
+
+TEST(Device, InvertBypPinInvertsFfData) {
+  // Pulse fault on a CB input (Figure 6): flip the input inverter mux.
+  Device dev(DeviceSpec::small());
+  Hand h(dev);
+  const CbCoord cb{1, 1};
+  h.inputPad(0);
+  h.padConn(0, true, 0);
+  h.pm(0, 1, 0, PmSwitch::ES);
+  h.pm(1, 1, 0, PmSwitch::WE);
+  h.inConn(cb, CbInPin::Byp, false, 0);
+  h.ff(cb, /*fromByp=*/true);
+  h.outConn(cb, CbOutPin::Ff, false, 1);
+  h.pm(1, 1, 1, PmSwitch::WE);
+  h.outputPad(1);
+  h.padConn(1, false, 1);
+
+  dev.setPadInput(0, true);
+  dev.step();
+  EXPECT_TRUE(dev.padValue(1));
+
+  dev.setLogicBit(dev.layout().cbFieldBit(cb, CbField::InvByp), true);
+  dev.step();
+  EXPECT_FALSE(dev.padValue(1));  // inverted data captured
+  dev.setLogicBit(dev.layout().cbFieldBit(cb, CbField::InvByp), false);
+  dev.step();
+  EXPECT_TRUE(dev.padValue(1));
+}
+
+TEST(Device, ShortCircuitDetected) {
+  Device dev(DeviceSpec::small());
+  Hand h(dev);
+  // Two LUT outputs driving the same horizontal segment.
+  h.lut(CbCoord{1, 1}, 0xFFFF);
+  h.lut(CbCoord{2, 1}, 0x0000);
+  h.outConn(CbCoord{1, 1}, CbOutPin::Lut, false, 0);  // HSeg(1,1,0)
+  h.outConn(CbCoord{2, 1}, CbOutPin::Lut, false, 0);  // HSeg(2,1,0)
+  h.pm(2, 1, 0, PmSwitch::WE);                        // join them
+  EXPECT_THROW(dev.settle(), FadesError);
+}
+
+TEST(Device, WiredAndResolvesShort) {
+  Device dev(DeviceSpec::small());
+  dev.setShortPolicy(ShortPolicy::WiredAnd);
+  Hand h(dev);
+  h.lut(CbCoord{1, 1}, 0xFFFF);  // constant 1
+  h.lut(CbCoord{2, 1}, 0x0000);  // constant 0
+  h.outConn(CbCoord{1, 1}, CbOutPin::Lut, false, 0);
+  h.outConn(CbCoord{2, 1}, CbOutPin::Lut, false, 0);
+  h.pm(2, 1, 0, PmSwitch::WE);
+  // Observe the shorted net through an output pad.
+  h.pm(1, 1, 0, PmSwitch::WE);  // HSeg(0,1,0)
+  h.outputPad(1);
+  h.padConn(1, false, 0);
+  dev.settle();
+  EXPECT_FALSE(dev.padValue(1));  // 1 AND 0 = 0 (dominant low)
+  dev.setShortPolicy(ShortPolicy::WiredOr);
+  dev.settle();
+  EXPECT_TRUE(dev.padValue(1));
+}
+
+TEST(Device, CombinationalLoopRejected) {
+  Device dev(DeviceSpec::small());
+  Hand h(dev);
+  const CbCoord cb{1, 1};
+  h.lut(cb, 0x5555);                         // NOT i0
+  h.outConn(cb, CbOutPin::Lut, false, 0);    // out -> HSeg(1,1,0)
+  h.inConn(cb, CbInPin::I0, false, 0);       // i0 <- HSeg(1,1,0): loop!
+  EXPECT_THROW(dev.settle(), FadesError);
+}
+
+TEST(Device, CaptureFrameExposesLiveFfState) {
+  Device dev(DeviceSpec::small());
+  configureRegisteredBuffer(dev);
+  dev.setPadInput(0, true);
+  dev.step();
+  const auto frame = dev.readCaptureFrame(2);
+  EXPECT_TRUE((frame[2 >> 3] >> (2 & 7)) & 1u);  // CB(2,2) is row 2
+  dev.setPadInput(0, false);
+  dev.step();
+  const auto frame2 = dev.readCaptureFrame(2);
+  EXPECT_FALSE((frame2[0] >> 2) & 1u);
+}
+
+TEST(Device, BramContentIsConfigurationMemory) {
+  Device dev(DeviceSpec::small());
+  // Route block 0 DOUT0 (pin 28) to east pad row 11, leave ADDR/WE floating
+  // (address 0, never written).
+  Hand h(dev);
+  dev.setLogicBit(dev.layout().bramFieldBit(0, BramField::Used), true);
+  // widthSel = 3 -> 8-bit aspect.
+  dev.setLogicBit(dev.layout().bramFieldBit(0, BramField::WidthSelLo) + 0, true);
+  dev.setLogicBit(dev.layout().bramFieldBit(0, BramField::WidthSelLo) + 1, true);
+  const unsigned dout0 = DeviceSpec::kBramAddrPins + DeviceSpec::kBramDataPins;
+  const unsigned xb = dev.layout().bramPinColumn(0, dout0);  // 28 % 6 = 4
+  ASSERT_EQ(xb, 4u);
+  dev.setLogicBit(dev.layout().bramPinConnBit(0, dout0, false, 0), true);
+  // Walk HSeg(4,12,0) .. HSeg(11,12,0), then down to VSeg(12,11,0).
+  for (unsigned x = 5; x <= 11; ++x) h.pm(x, 12, 0, PmSwitch::WE);
+  h.pm(12, 12, 0, PmSwitch::WS);
+  h.outputPad(12 + 11);  // east pad, row 11
+  h.padConn(12 + 11, true, 0);
+
+  // Store 0x01 at row 0 through the content plane (plane B).
+  dev.setBramBit(dev.layout().bramContentBit(0, 0), true);
+  dev.settle();
+  EXPECT_FALSE(dev.padValue(12 + 11));  // latch not loaded yet
+  dev.step();
+  EXPECT_TRUE(dev.padValue(12 + 11));  // synchronous read of row 0, bit 0
+
+  // Flip the stored bit via plane B - the paper's memory bit-flip.
+  dev.setBramBit(dev.layout().bramContentBit(0, 0), false);
+  dev.step();
+  EXPECT_FALSE(dev.padValue(12 + 11));
+  EXPECT_EQ(dev.bramWord(0, 8, 0), 0u);
+}
+
+TEST(Device, FullBitstreamRoundTripAndReset) {
+  Device dev(DeviceSpec::small());
+  configureRegisteredBuffer(dev, /*srMode=*/true);
+  dev.setPadInput(0, false);
+  dev.step();
+  EXPECT_FALSE(dev.ffState(CbCoord{2, 2}));
+
+  const Bitstream bs = dev.readbackBitstream();
+  Device dev2(DeviceSpec::small());
+  dev2.writeFullBitstream(bs);
+  // Configuration download asserts GSR: FF starts at SrMode (1).
+  EXPECT_TRUE(dev2.ffState(CbCoord{2, 2}));
+  dev2.setPadInput(0, true);
+  dev2.step();
+  EXPECT_TRUE(dev2.padValue(2));
+  EXPECT_EQ(dev2.readbackBitstream().logic, bs.logic);
+}
+
+TEST(Device, StateCaptureRestoreReplays) {
+  Device dev(DeviceSpec::small());
+  configureRegisteredBuffer(dev);
+  dev.setPadInput(0, true);
+  dev.step();
+  const DeviceState st = dev.captureState();
+  dev.setPadInput(0, false);
+  dev.step();
+  EXPECT_FALSE(dev.padValue(2));
+  dev.restoreState(st);
+  EXPECT_EQ(dev.cycle(), 1u);
+  EXPECT_TRUE(dev.padValue(2));
+}
+
+// -------------------------------------------------------------- timing -----
+
+TEST(Device, FanoutTransistorIncreasesDelay) {
+  Device dev(DeviceSpec::small());
+  configureInverter(dev);
+  dev.setTimingEnabled(true);
+  dev.settle();
+  const auto sink = dev.nodes().cbIn(CbCoord{1, 1}, CbInPin::I0);
+  const double before = dev.sinkDelayNs(sink);
+  EXPECT_GT(before, 0.0);
+
+  // Turn ON an unused pass transistor touching the net (Figure 8): the
+  // extra load must increase the propagation delay slightly.
+  Hand h(dev);
+  h.pm(1, 1, 0, PmSwitch::EN);  // dangling VSeg(1,1,0) attached to the path
+  dev.settle();
+  const double after = dev.sinkDelayNs(sink);
+  EXPECT_GT(after, before);
+  EXPECT_LT(after - before, 1.0);  // a small delay, as the paper requires
+}
+
+TEST(Device, LongerRouteIncreasesDelayMore) {
+  Device devShort(DeviceSpec::small());
+  configureInverter(devShort);
+  devShort.setTimingEnabled(true);
+  devShort.settle();
+  const double shortDelay = devShort.sinkDelayNs(
+      devShort.nodes().cbIn(CbCoord{1, 1}, CbInPin::I0));
+
+  // Same circuit, but the input routed the long way around (more segments).
+  Device dev(DeviceSpec::small());
+  Hand h(dev);
+  const CbCoord cb{1, 1};
+  h.inputPad(0);
+  h.padConn(0, true, 0);  // VSeg(0,0,0)
+  h.pm(0, 1, 0, PmSwitch::NS);
+  h.pm(0, 2, 0, PmSwitch::NS);
+  h.pm(0, 3, 0, PmSwitch::ES);  // -> HSeg(0,3,0)
+  h.pm(1, 3, 0, PmSwitch::WS);  // -> VSeg(1,2,0)
+  h.pm(1, 2, 0, PmSwitch::NS);  // -> VSeg(1,1,0)
+  h.pm(1, 1, 0, PmSwitch::EN);  // -> HSeg(1,1,0)
+  h.inConn(cb, CbInPin::I0, false, 0);
+  h.lut(cb, 0x5555);
+  h.outConn(cb, CbOutPin::Lut, false, 1);
+  h.pm(1, 1, 1, PmSwitch::WE);
+  h.outputPad(1);
+  h.padConn(1, false, 1);
+  dev.setTimingEnabled(true);
+  dev.settle();
+  const double longDelay =
+      dev.sinkDelayNs(dev.nodes().cbIn(cb, CbInPin::I0));
+  EXPECT_GT(longDelay, shortDelay + 3 * dev.spec().segmentDelayNs);
+  // Functionality unchanged by the detour.
+  dev.setPadInput(0, true);
+  dev.settle();
+  EXPECT_FALSE(dev.padValue(1));
+}
+
+TEST(Device, LateFfCapturesStaleValue) {
+  // Shrink the clock period so the registered buffer's path misses setup:
+  // the FF must capture the previous cycle's data (delay-fault mechanism).
+  DeviceSpec spec = DeviceSpec::small();
+  spec.clockPeriodNs = 1.0;  // absurdly fast clock: every path is late
+  Device dev(spec);
+  configureRegisteredBuffer(dev);
+  dev.setTimingEnabled(true);
+  dev.setPadInput(0, true);
+  dev.step();
+  // With timing on and the path late, the FF captured the stale (previous)
+  // D value, which was 0.
+  EXPECT_FALSE(dev.padValue(2));
+  dev.step();
+  EXPECT_TRUE(dev.padValue(2));  // arrives one cycle later
+  EXPECT_GE(dev.timingReport().lateFfCount, 1u);
+}
+
+TEST(Device, TimingOffMeansIdealCapture) {
+  DeviceSpec spec = DeviceSpec::small();
+  spec.clockPeriodNs = 1.0;
+  Device dev(spec);
+  configureRegisteredBuffer(dev);
+  dev.setPadInput(0, true);
+  dev.step();
+  EXPECT_TRUE(dev.padValue(2));
+}
+
+}  // namespace
+}  // namespace fades::fpga

@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "mc8051/assembler.hpp"
+#include "mc8051/core.hpp"
+#include "mc8051/isa.hpp"
+#include "mc8051/iss.hpp"
+#include "mc8051/workloads.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+
+namespace fades::mc8051 {
+namespace {
+
+using common::FadesError;
+using sim::Simulator;
+
+// ------------------------------------------------------------ assembler -----
+
+TEST(Assembler, BasicEncodings) {
+  const auto p = assemble(R"(
+    MOV A, #0x42
+    MOV R3, #7
+    ADD A, R3
+    MOV 0x30, A
+    NOP
+  )");
+  EXPECT_EQ(p.bytes, (std::vector<std::uint8_t>{0x74, 0x42, 0x78 + 3, 7,
+                                                0x28 + 3, 0xF5, 0x30, 0x00}));
+}
+
+TEST(Assembler, IndirectAndExchange) {
+  const auto p = assemble(R"(
+    MOV R0, #0x30
+    MOV @R0, #5
+    MOV A, @R0
+    XCH A, R1
+    XCH A, 0x31
+  )");
+  EXPECT_EQ(p.bytes,
+            (std::vector<std::uint8_t>{0x78, 0x30, 0x76, 5, 0xE6, 0xC8 + 1,
+                                       0xC5, 0x31}));
+}
+
+TEST(Assembler, BranchesAndLabels) {
+  const auto p = assemble(R"(
+    start: DJNZ R2, start
+           SJMP start
+    end:   SJMP $
+  )");
+  // DJNZ R2,start: offset -2 (back to its own start).
+  EXPECT_EQ(p.bytes[0], 0xD8 + 2);
+  EXPECT_EQ(p.bytes[1], 0xFE);
+  // SJMP start at address 2: target 0, offset -4.
+  EXPECT_EQ(p.bytes[2], 0x80);
+  EXPECT_EQ(p.bytes[3], 0xFC);
+  // SJMP $: offset -2.
+  EXPECT_EQ(p.bytes[5], 0xFE);
+  EXPECT_EQ(p.symbol("end"), 4u);
+}
+
+TEST(Assembler, SfrNamesAndMovDirDirOperandOrder) {
+  const auto p = assemble("MOV P1, PSW");
+  // MCS-51 encodes MOV dir,dir as: 0x85, src, dst.
+  EXPECT_EQ(p.bytes, (std::vector<std::uint8_t>{0x85, SFR_PSW, SFR_P1}));
+}
+
+TEST(Assembler, DirectivesOrgDbEqu) {
+  const auto p = assemble(R"(
+    val: .equ 0x2A
+         MOV A, #val
+         .org 0x10
+         .db 1, 2, 0xFF
+  )");
+  EXPECT_EQ(p.bytes.size(), 0x13u);
+  EXPECT_EQ(p.bytes[1], 0x2A);
+  EXPECT_EQ(p.bytes[0x10], 1);
+  EXPECT_EQ(p.bytes[0x12], 0xFF);
+}
+
+TEST(Assembler, ErrorsAreDiagnosed) {
+  EXPECT_THROW(assemble("FROB A, #1"), FadesError);
+  EXPECT_THROW(assemble("MOV A"), FadesError);
+  EXPECT_THROW(assemble("SJMP missing_label"), FadesError);
+  // Branch out of range.
+  std::string longSrc = "start: NOP\n";
+  for (int i = 0; i < 200; ++i) longSrc += "NOP\n";
+  longSrc += "SJMP start\n";
+  EXPECT_THROW(assemble(longSrc), FadesError);
+}
+
+TEST(Isa, LengthsMatchAssembledSizes) {
+  // Cross-check instructionLength against what the assembler emits.
+  struct Case {
+    const char* src;
+    unsigned len;
+  };
+  for (const auto& c : std::initializer_list<Case>{
+           {"NOP", 1},      {"RET", 1},          {"INC A", 1},
+           {"MOV A, R5", 1}, {"MOV A, @R1", 1},  {"ADD A, #1", 2},
+           {"MOV A, 0x30", 2}, {"PUSH PSW", 2},  {"DJNZ R1, $", 2},
+           {"LJMP $", 3},   {"MOV 0x30, #1", 3}, {"CJNE A, #5, $", 3}}) {
+    const auto p = assemble(c.src);
+    EXPECT_EQ(p.bytes.size(), c.len) << c.src;
+    EXPECT_EQ(instructionLength(p.bytes[0]), c.len) << c.src;
+  }
+  EXPECT_EQ(instructionLength(0xA5), 0u);  // a hole in the map
+}
+
+// ------------------------------------------------------------------ ISS -----
+
+TEST(Iss, ArithmeticFlags) {
+  const auto p = assemble(R"(
+    MOV A, #0x7F
+    ADD A, #0x01
+  )");
+  Iss iss(p.bytes);
+  iss.stepInstruction();
+  iss.stepInstruction();
+  EXPECT_EQ(iss.acc(), 0x80);
+  EXPECT_FALSE(iss.carry());
+  EXPECT_TRUE(iss.psw() & (1 << PSW_OV));  // 0x7F + 1 overflows signed
+  EXPECT_TRUE(iss.psw() & (1 << PSW_AC));  // carry out of bit 3
+  EXPECT_TRUE(iss.psw() & (1 << PSW_P));   // 0x80 has odd parity
+}
+
+TEST(Iss, SubbBorrowChain) {
+  const auto p = assemble(R"(
+    CLR C
+    MOV A, #0x10
+    SUBB A, #0x20
+  )");
+  Iss iss(p.bytes);
+  for (int i = 0; i < 3; ++i) iss.stepInstruction();
+  EXPECT_EQ(iss.acc(), 0xF0);
+  EXPECT_TRUE(iss.carry());  // borrow
+}
+
+TEST(Iss, BankedRegisters) {
+  const auto p = assemble(R"(
+    MOV R0, #0x11      ; bank 0: iram[0]
+    MOV PSW, #0x08     ; RS0=1 -> bank 1
+    MOV R0, #0x22      ; bank 1: iram[8]
+    MOV PSW, #0x00
+    MOV A, R0
+  )");
+  Iss iss(p.bytes);
+  for (int i = 0; i < 5; ++i) iss.stepInstruction();
+  EXPECT_EQ(iss.iram(0), 0x11);
+  EXPECT_EQ(iss.iram(8), 0x22);
+  EXPECT_EQ(iss.acc(), 0x11);
+}
+
+TEST(Iss, StackCallReturn) {
+  const auto p = assemble(R"(
+          MOV  SP, #0x50
+          LCALL sub
+          MOV  P0, #1
+    end:  SJMP $
+    sub:  MOV  P1, #9
+          RET
+  )");
+  Iss iss(p.bytes);
+  while (iss.p0() != 1) iss.stepInstruction();
+  EXPECT_EQ(iss.p1(), 9);
+  EXPECT_EQ(iss.sp(), 0x50);  // balanced
+}
+
+TEST(Iss, CjneSetsCarryLikeCompare) {
+  const auto p = assemble(R"(
+    MOV A, #5
+    CJNE A, #9, low
+    low: NOP
+  )");
+  Iss iss(p.bytes);
+  iss.stepInstruction();
+  iss.stepInstruction();
+  EXPECT_TRUE(iss.carry());  // 5 < 9
+}
+
+TEST(Iss, MultiplyAndDivide) {
+  const auto p = assemble(R"(
+    MOV A, #0xC9     ; 201
+    MOV B, #0x2A     ; 42
+    MUL AB           ; 8442 = 0x20FA
+    MOV 0x30, A      ; low
+    MOV A, B
+    MOV 0x31, A      ; high
+    MOV A, #201
+    MOV B, #42
+    DIV AB           ; q=4, r=33
+  )");
+  Iss iss(p.bytes);
+  for (int i = 0; i < 9; ++i) iss.stepInstruction();
+  EXPECT_EQ(iss.iram(0x30), 0xFA);
+  EXPECT_EQ(iss.iram(0x31), 0x20);
+  EXPECT_EQ(iss.acc(), 4);
+  EXPECT_EQ(iss.b(), 33);
+  EXPECT_FALSE(iss.carry());
+  EXPECT_FALSE(iss.psw() & (1 << PSW_OV));
+}
+
+TEST(Iss, MulOverflowAndDivByZeroFlags) {
+  {
+    Iss iss(assemble("MOV A,#16\nMOV B,#16\nMUL AB").bytes);
+    for (int i = 0; i < 3; ++i) iss.stepInstruction();
+    EXPECT_EQ(iss.acc(), 0);
+    EXPECT_EQ(iss.b(), 1);
+    EXPECT_TRUE(iss.psw() & (1 << PSW_OV));  // product exceeds 8 bits
+  }
+  {
+    Iss iss(assemble("MOV A,#77\nMOV B,#0\nDIV AB").bytes);
+    for (int i = 0; i < 3; ++i) iss.stepInstruction();
+    EXPECT_TRUE(iss.psw() & (1 << PSW_OV));  // division by zero
+    EXPECT_EQ(iss.acc(), 0xFF);
+    EXPECT_EQ(iss.b(), 77);
+  }
+}
+
+TEST(Iss, RotatesThroughCarry) {
+  const auto p = assemble(R"(
+    SETB C
+    MOV A, #0x80
+    RLC A
+  )");
+  Iss iss(p.bytes);
+  for (int i = 0; i < 3; ++i) iss.stepInstruction();
+  EXPECT_EQ(iss.acc(), 0x01);
+  EXPECT_TRUE(iss.carry());
+}
+
+TEST(Iss, CycleCountsFollowTheFsm) {
+  struct Case {
+    const char* src;
+    unsigned cycles;
+  };
+  for (const auto& c : std::initializer_list<Case>{
+           {"NOP", 2},            // FETCH, DECODE
+           {"INC A", 3},          // + EXEC
+           {"MOV A, #1", 4},      // + OP1
+           {"MOV A, 0x30", 5},    // + OP1 + RD
+           {"MOV A, R2", 4},      // + RD
+           {"MOV A, @R0", 5},     // + RDRI + RD
+           {"MOV @R0, A", 4},     // + RDRI
+           {"MOV 0x30, #1", 5},   // + OP1 + OP2
+           {"MOV 0x30, 0x31", 6}, // + OP1 + OP2 + RD
+           {"CJNE A, #1, $", 5},  // + OP1 + OP2
+           {"DJNZ R0, $", 5},     // + OP1 + RD  (R0 starts 0 -> wraps, jumps)
+           {"LJMP $", 5},
+           {"LCALL $", 6},
+           {"RET", 5}}) {
+    Iss iss(assemble(c.src).bytes);
+    EXPECT_EQ(iss.stepInstruction(), c.cycles) << c.src;
+  }
+}
+
+// ----------------------------------------------------------- workloads -----
+
+TEST(Workloads, BubblesortSortsAndChecksums) {
+  const Workload w = bubblesort(8);
+  Iss iss(w.bytes);
+  iss.runCycles(w.cycles);
+  // Array ascending 1..8 at 0x30.
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(iss.iram(static_cast<std::uint8_t>(0x30 + i)), i + 1);
+  }
+  EXPECT_EQ(iss.p0(), w.expectedP0);
+  EXPECT_EQ(iss.p1(), w.expectedP1);
+}
+
+TEST(Workloads, BubblesortCycleScaleMatchesPaperBallpark) {
+  // The paper's Bubblesort took 1303 cycles on their 8051; ours should be
+  // the same order of magnitude at a comparable size.
+  const Workload w = bubblesort(8);
+  EXPECT_GT(w.cycles, 400u);
+  EXPECT_LT(w.cycles, 6000u);
+}
+
+TEST(Workloads, ChecksumAndFibonacci) {
+  const Workload c = checksum(12);
+  Iss issC(c.bytes);
+  issC.runCycles(c.cycles);
+  EXPECT_EQ(issC.p0(), c.expectedP0);
+  EXPECT_EQ(issC.p1(), c.expectedP1);
+
+  const Workload f = fibonacci(10);
+  Iss issF(f.bytes);
+  issF.runCycles(f.cycles);
+  EXPECT_EQ(issF.p0(), 0x5A);
+  EXPECT_EQ(issF.p1(), 89);  // fib(11) = 89
+}
+
+// ---------------------------------------------------------- RTL vs ISS -----
+
+struct RtlIss {
+  netlist::Netlist nl;
+  std::unique_ptr<Simulator> simulator;
+  Iss iss;
+
+  explicit RtlIss(const std::vector<std::uint8_t>& program)
+      : nl(buildCore(program)), iss(program) {
+    simulator = std::make_unique<Simulator>(nl);
+  }
+
+  void compareAfter(std::uint64_t cycles) {
+    simulator->run(cycles);
+    iss.runCycles(cycles);
+    EXPECT_EQ(simulator->portValue("acc"), iss.acc());
+    EXPECT_EQ(simulator->portValue("sp"), iss.sp());
+    EXPECT_EQ(simulator->portValue("p0"), iss.p0());
+    EXPECT_EQ(simulator->portValue("p1"), iss.p1());
+    EXPECT_EQ(simulator->portValue("pc"), iss.pc());
+    netlist::RamId iramId{};
+    for (std::uint32_t r = 0; r < nl.ramCount(); ++r) {
+      if (nl.ram(netlist::RamId{r}).name == "iram") iramId = netlist::RamId{r};
+    }
+    ASSERT_TRUE(iramId.valid());
+    for (unsigned a = 0; a < 128; ++a) {
+      ASSERT_EQ(simulator->ramWord(iramId, a), iss.iram(a))
+          << "iram[" << a << "]";
+    }
+  }
+};
+
+TEST(Core, BubblesortMatchesIssExactly) {
+  const Workload w = bubblesort(8);
+  RtlIss rig(w.bytes);
+  rig.compareAfter(w.cycles);
+  EXPECT_EQ(rig.simulator->portValue("p1"), w.expectedP1);
+}
+
+TEST(Core, ChecksumMatchesIss) {
+  const Workload w = checksum(10);
+  RtlIss rig(w.bytes);
+  rig.compareAfter(w.cycles);
+}
+
+TEST(Core, FibonacciMatchesIss) {
+  const Workload w = fibonacci(9);
+  RtlIss rig(w.bytes);
+  rig.compareAfter(w.cycles);
+}
+
+TEST(Core, CycleAccurateAgainstIss) {
+  // Compare at several intermediate cuts, not only the quiescent end.
+  const Workload w = bubblesort(4);
+  for (std::uint64_t cut : {11ull, 47ull, 101ull, 257ull}) {
+    RtlIss rig(w.bytes);
+    rig.iss.runCycles(cut);
+    rig.simulator->run(rig.iss.cycleCount());  // align to the ISS boundary
+    EXPECT_EQ(rig.simulator->portValue("pc"), rig.iss.pc()) << cut;
+    EXPECT_EQ(rig.simulator->portValue("acc"), rig.iss.acc()) << cut;
+  }
+}
+
+TEST(Core, InstructionStressProgram) {
+  // Exercise every implemented instruction family at least once.
+  const char* src = R"(
+        MOV  SP, #0x58
+        MOV  A, #0x3C
+        MOV  B, A
+        MOV  0x30, #0x11
+        MOV  0x31, 0x30
+        MOV  R0, #0x31
+        INC  @R0
+        MOV  A, @R0
+        ADD  A, #0x01
+        ADDC A, 0x30
+        SUBB A, R0
+        ANL  A, #0xF7
+        ORL  A, #0x08
+        XRL  A, 0x30
+        RL   A
+        RLC  A
+        RR   A
+        RRC  A
+        CPL  A
+        XCH  A, 0x30
+        XCH  A, R3
+        PUSH 0x30
+        POP  0x32
+        MOV  R5, #3
+    lp: INC  0x33
+        DEC  A
+        DJNZ R5, lp
+        CJNE A, #0, ne
+        NOP
+    ne: LCALL sub
+        MOV  A, R7
+        MOV  P1, A
+        MOV  P0, #0x77
+    end: SJMP $
+    sub: MOV  R7, #0x66
+        SETB C
+        CPL  C
+        CLR  C
+        RET
+  )";
+  const auto p = assemble(src);
+  RtlIss rig(p.bytes);
+  Iss probe(p.bytes);
+  std::uint64_t guard = 0;
+  while (probe.p0() != 0x77 && ++guard < 10000) probe.stepInstruction();
+  ASSERT_EQ(probe.p0(), 0x77);
+  rig.compareAfter(probe.cycleCount() + 8);
+}
+
+TEST(Core, MulDivMatchIssExhaustively) {
+  // Sweep a grid of operand pairs through MUL and DIV on the RTL core and
+  // compare both result registers against the ISS.
+  for (unsigned a = 3; a < 256; a += 41) {
+    for (unsigned c = 0; c < 256; c += 37) {
+      std::ostringstream src;
+      src << "MOV A,#" << a << "\nMOV B,#" << c << "\nMUL AB\n"
+          << "MOV 0x40, A\nMOV A,B\nMOV 0x41, A\n"
+          << "MOV A,#" << a << "\nMOV B,#" << c << "\nDIV AB\n"
+          << "MOV P1, A\nMOV P0,#1\nend: SJMP $\n";
+      const auto p = assemble(src.str());
+      RtlIss rig(p.bytes);
+      Iss probe(p.bytes);
+      while (probe.p0() != 1) probe.stepInstruction();
+      rig.compareAfter(probe.cycleCount() + 4);
+    }
+  }
+}
+
+TEST(Workloads, DotProductUsesMultiplier) {
+  const Workload w = dotproduct(6);
+  Iss iss(w.bytes);
+  iss.runCycles(w.cycles);
+  EXPECT_EQ(iss.p0(), w.expectedP0);
+  EXPECT_EQ(iss.p1(), w.expectedP1);
+
+  RtlIss rig(w.bytes);
+  rig.compareAfter(w.cycles);
+  EXPECT_EQ(rig.simulator->portValue("p1"), w.expectedP1);
+}
+
+
+}  // namespace
+}  // namespace fades::mc8051

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netlist/netlist.hpp"
+
+namespace fades::netlist {
+namespace {
+
+using common::ErrorKind;
+using common::FadesError;
+
+// ------------------------------------------------------------ gate ops -----
+
+struct GateTruthCase {
+  GateOp op;
+  // expected output for inputs (a,b,c) enumerated as bits of an index
+  std::array<bool, 8> expected;
+};
+
+class GateEvalTest : public ::testing::TestWithParam<GateTruthCase> {};
+
+TEST_P(GateEvalTest, MatchesTruthTable) {
+  const auto& p = GetParam();
+  for (int i = 0; i < 8; ++i) {
+    const bool a = i & 1, b = i & 2, c = i & 4;
+    EXPECT_EQ(evalGate(p.op, a, b, c), p.expected[i])
+        << toString(p.op) << " a=" << a << " b=" << b << " c=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, GateEvalTest,
+    ::testing::Values(
+        GateTruthCase{GateOp::Const0, {0, 0, 0, 0, 0, 0, 0, 0}},
+        GateTruthCase{GateOp::Const1, {1, 1, 1, 1, 1, 1, 1, 1}},
+        GateTruthCase{GateOp::Buf, {0, 1, 0, 1, 0, 1, 0, 1}},
+        GateTruthCase{GateOp::Not, {1, 0, 1, 0, 1, 0, 1, 0}},
+        GateTruthCase{GateOp::And, {0, 0, 0, 1, 0, 0, 0, 1}},
+        GateTruthCase{GateOp::Or, {0, 1, 1, 1, 0, 1, 1, 1}},
+        GateTruthCase{GateOp::Xor, {0, 1, 1, 0, 0, 1, 1, 0}},
+        GateTruthCase{GateOp::Nand, {1, 1, 1, 0, 1, 1, 1, 0}},
+        GateTruthCase{GateOp::Nor, {1, 0, 0, 0, 1, 0, 0, 0}},
+        GateTruthCase{GateOp::Xnor, {1, 0, 0, 1, 1, 0, 0, 1}},
+        // Mux: c ? b : a
+        GateTruthCase{GateOp::Mux, {0, 1, 0, 1, 0, 0, 1, 1}}),
+    [](const auto& info) { return toString(info.param.op); });
+
+TEST(GateOps, Arity) {
+  EXPECT_EQ(arity(GateOp::Const0), 0u);
+  EXPECT_EQ(arity(GateOp::Const1), 0u);
+  EXPECT_EQ(arity(GateOp::Buf), 1u);
+  EXPECT_EQ(arity(GateOp::Not), 1u);
+  EXPECT_EQ(arity(GateOp::And), 2u);
+  EXPECT_EQ(arity(GateOp::Mux), 3u);
+}
+
+// ---------------------------------------------------------- construction ----
+
+TEST(Netlist, BuildAndQuerySmallCircuit) {
+  Netlist nl;
+  const NetId a = nl.addNet("a");
+  const NetId b = nl.addNet("b");
+  nl.addInputPort("a", {a});
+  nl.addInputPort("b", {b});
+  const GateId g = nl.addGate(GateOp::And, a, b);
+  const NetId y = nl.gate(g).out;
+  nl.setNetName(y, "y");
+  nl.addOutputPort("y", {y});
+
+  nl.validate();
+  EXPECT_EQ(nl.netCount(), 3u);
+  EXPECT_EQ(nl.gateCount(), 1u);
+  EXPECT_EQ(nl.findNet("y"), y);
+  EXPECT_NE(nl.findInput("a"), nullptr);
+  EXPECT_NE(nl.findOutput("y"), nullptr);
+  EXPECT_EQ(nl.findInput("z"), nullptr);
+  EXPECT_EQ(nl.driverOf(y).kind, Netlist::DriverKind::Gate);
+  EXPECT_EQ(nl.driverOf(a).kind, Netlist::DriverKind::Input);
+}
+
+TEST(Netlist, DoubleDriverRejected) {
+  Netlist nl;
+  const NetId a = nl.addNet("a");
+  nl.addInputPort("a", {a});
+  const NetId y = nl.addNet("y");
+  nl.addGate(GateOp::Buf, a, {}, {}, Unit::None, y);
+  EXPECT_THROW(nl.addGate(GateOp::Not, a, {}, {}, Unit::None, y), FadesError);
+}
+
+TEST(Netlist, UndrivenNetRejectedByValidate) {
+  Netlist nl;
+  const NetId a = nl.addNet("a");
+  nl.addInputPort("a", {a});
+  nl.addNet("floating");
+  try {
+    nl.validate();
+    FAIL() << "expected throw";
+  } catch (const FadesError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::NetlistError);
+    EXPECT_NE(std::string(e.what()).find("floating"), std::string::npos);
+  }
+}
+
+TEST(Netlist, CombinationalCycleDetected) {
+  Netlist nl;
+  const NetId a = nl.addNet("a");
+  const NetId b = nl.addNet("b");
+  nl.addGate(GateOp::Not, b, {}, {}, Unit::None, a);
+  nl.addGate(GateOp::Buf, a, {}, {}, Unit::None, b);
+  try {
+    nl.validate();
+    FAIL() << "expected throw";
+  } catch (const FadesError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::NetlistError);
+  }
+}
+
+TEST(Netlist, FlopBreaksCycle) {
+  Netlist nl;
+  const NetId d = nl.addNet("d");
+  const FlopId f = nl.addFlop(d, false, Unit::Registers, "state");
+  const NetId q = nl.flop(f).q;
+  nl.addGate(GateOp::Not, q, {}, {}, Unit::None, d);  // toggle flop
+  nl.addOutputPort("q", {q});
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Netlist, MissingGateInputRejected) {
+  Netlist nl;
+  EXPECT_THROW(nl.addGate(GateOp::And, NetId{}, NetId{}), FadesError);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl;
+  const NetId a = nl.addNet("a");
+  nl.addInputPort("a", {a});
+  const GateId g1 = nl.addGate(GateOp::Not, a);
+  const GateId g2 = nl.addGate(GateOp::Not, nl.gate(g1).out);
+  const GateId g3 = nl.addGate(GateOp::And, nl.gate(g1).out, nl.gate(g2).out);
+  const auto order = nl.topoOrder();
+  auto pos = [&](GateId id) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == id) return i;
+    }
+    return order.size();
+  };
+  EXPECT_LT(pos(g1), pos(g2));
+  EXPECT_LT(pos(g2), pos(g3));
+  EXPECT_EQ(order.size(), 3u);
+}
+
+// ----------------------------------------------------------------- RAM -----
+
+TEST(Netlist, RamConstruction) {
+  Netlist nl;
+  std::vector<NetId> addr, din;
+  for (int i = 0; i < 4; ++i) addr.push_back(nl.addNet());
+  for (int i = 0; i < 8; ++i) din.push_back(nl.addNet());
+  const NetId we = nl.addNet("we");
+  nl.addInputPort("addr", addr);
+  nl.addInputPort("din", din);
+  nl.addInputPort("we", {we});
+
+  const RamId id = nl.addRam(4, 8, addr, din, we, {}, Unit::Ram, "mem");
+  const auto& ram = nl.ram(id);
+  EXPECT_EQ(ram.depth(), 16u);
+  EXPECT_EQ(ram.dataOut.size(), 8u);
+  EXPECT_FALSE(ram.isRom());
+  nl.addOutputPort("dout", ram.dataOut);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Netlist, RomHasNoWritePort) {
+  Netlist nl;
+  std::vector<NetId> addr;
+  for (int i = 0; i < 3; ++i) addr.push_back(nl.addNet());
+  nl.addInputPort("addr", addr);
+  std::vector<std::uint8_t> init(8, 0);
+  init[5] = 0xAB;
+  const RamId id = nl.addRam(3, 8, addr, {}, NetId{}, init, Unit::Ram, "rom");
+  EXPECT_TRUE(nl.ram(id).isRom());
+  EXPECT_EQ(nl.ram(id).initWord(5), 0xABu);
+  nl.addOutputPort("dout", nl.ram(id).dataOut);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Netlist, RamInitWordRoundTrip) {
+  Netlist nl;
+  std::vector<NetId> addr;
+  for (int i = 0; i < 2; ++i) addr.push_back(nl.addNet());
+  nl.addInputPort("addr", addr);
+  const RamId id = nl.addRam(2, 13, addr, {}, NetId{}, {}, Unit::Ram, "r");
+  nl.ram(id).setInitWord(3, 0x1FFF);
+  EXPECT_EQ(nl.ram(id).initWord(3), 0x1FFFu);
+  nl.ram(id).setInitWord(3, 0x0155);
+  EXPECT_EQ(nl.ram(id).initWord(3), 0x0155u);
+}
+
+TEST(Netlist, RamWidthMismatchRejected) {
+  Netlist nl;
+  std::vector<NetId> addr{nl.addNet()};
+  nl.addInputPort("a", addr);
+  EXPECT_THROW(nl.addRam(2, 8, addr, {}, NetId{}, {}, Unit::Ram, "bad"),
+               FadesError);
+}
+
+// --------------------------------------------------------------- stats -----
+
+TEST(Netlist, StatsCountPerUnit) {
+  Netlist nl;
+  const NetId a = nl.addNet("a");
+  nl.addInputPort("a", {a});
+  nl.addGate(GateOp::Not, a, {}, {}, Unit::Alu);
+  nl.addGate(GateOp::Buf, a, {}, {}, Unit::Alu);
+  nl.addGate(GateOp::Buf, a, {}, {}, Unit::Fsm);
+  nl.addFlop(a, false, Unit::Registers, "r0");
+  const auto s = nl.stats();
+  EXPECT_EQ(s.gates, 3u);
+  EXPECT_EQ(s.flops, 1u);
+  EXPECT_EQ(s.gatesPerUnit.at(Unit::Alu), 2u);
+  EXPECT_EQ(s.gatesPerUnit.at(Unit::Fsm), 1u);
+  EXPECT_EQ(s.flopsPerUnit.at(Unit::Registers), 1u);
+  EXPECT_EQ(s.inputBits, 1u);
+}
+
+TEST(Netlist, UnitNames) {
+  EXPECT_STREQ(toString(Unit::Alu), "alu");
+  EXPECT_STREQ(toString(Unit::MemCtrl), "memctrl");
+  EXPECT_STREQ(toString(Unit::Fsm), "fsm");
+}
+
+}  // namespace
+}  // namespace fades::netlist

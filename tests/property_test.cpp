@@ -1,0 +1,213 @@
+// Repo-wide property tests: invariants that must hold across module
+// boundaries for any input, exercised with randomized sweeps.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/lut_circuit.hpp"
+#include "mc8051/assembler.hpp"
+#include "mc8051/core.hpp"
+#include "mc8051/iss.hpp"
+#include "rtl/builder.hpp"
+#include "sim/simulator.hpp"
+#include "synth/implement.hpp"
+
+namespace fades {
+namespace {
+
+using common::Rng;
+using netlist::Netlist;
+using rtl::Builder;
+using rtl::Bus;
+
+// ------------------------------------------------------ routing legality -----
+
+rtl::Builder randomDesign(std::uint64_t seed, unsigned gates) {
+  Rng rng(seed);
+  Builder b;
+  Bus in = b.input("in", 8);
+  std::vector<rtl::NetId> pool = in;
+  std::vector<rtl::Register> regs;
+  for (unsigned r = 0; r < 4; ++r) {
+    regs.push_back(b.makeRegister("q" + std::to_string(r), 4, 0));
+    pool.insert(pool.end(), regs.back().q.begin(), regs.back().q.end());
+  }
+  for (unsigned g = 0; g < gates; ++g) {
+    const auto pick = [&] { return pool[rng.below(pool.size())]; };
+    pool.push_back(rng.coin() ? b.lxor(pick(), pick())
+                              : b.lmux(pick(), pick(), pick()));
+  }
+  for (auto& r : regs) {
+    Bus d;
+    for (int k = 0; k < 4; ++k) d.push_back(pool[rng.below(pool.size())]);
+    b.connect(r, d);
+  }
+  Bus out;
+  for (int k = 0; k < 8; ++k) out.push_back(pool[rng.below(pool.size())]);
+  b.output("out", out);
+  return b;
+}
+
+class RoutingLegality : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoutingLegality, NoTwoNetsShareAWireSegment) {
+  Builder b = randomDesign(static_cast<std::uint64_t>(GetParam()), 50);
+  const Netlist nl = b.finish();
+  const auto impl = synth::implement(nl, fpga::DeviceSpec::small());
+
+  std::set<std::uint32_t> used;
+  for (const auto& route : impl.routes) {
+    for (auto n : route.wireNodes) {
+      EXPECT_TRUE(used.insert(n).second)
+          << "wire node " << n << " used by two nets (short circuit)";
+    }
+  }
+  // And every route's transistors are actually ON in the bitstream.
+  for (const auto& route : impl.routes) {
+    for (auto bit : route.transistorBits) {
+      EXPECT_TRUE(impl.bitstream.logic.get(bit));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingLegality, ::testing::Range(1, 7));
+
+TEST(RoutingLegality, DistinctFlopSitesAndLutSites) {
+  Builder b = randomDesign(11, 60);
+  const Netlist nl = b.finish();
+  const auto impl = synth::implement(nl, fpga::DeviceSpec::small());
+  std::set<std::pair<int, int>> cbs;
+  for (const auto& l : impl.luts) {
+    EXPECT_TRUE(cbs.insert({l.cb.x, l.cb.y}).second)
+        << "two LUTs on one CB";
+  }
+  std::set<std::pair<int, int>> ffs;
+  for (const auto& f : impl.flops) {
+    EXPECT_TRUE(ffs.insert({f.cb.x, f.cb.y}).second)
+        << "two FFs on one CB";
+  }
+}
+
+// ---------------------------------------------------- LUT circuit algebra -----
+
+TEST(LutCircuitAlgebra, DoubleInversionIsIdentity) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto table = static_cast<std::uint16_t>(rng.below(0x10000));
+    for (unsigned input = 0; input < 4; ++input) {
+      const auto once =
+          core::ExtractedCircuit::tableWithInvertedInput(table, input);
+      const auto twice =
+          core::ExtractedCircuit::tableWithInvertedInput(once, input);
+      EXPECT_EQ(twice, table);
+    }
+    EXPECT_EQ(core::ExtractedCircuit::tableWithInvertedOutput(
+                  core::ExtractedCircuit::tableWithInvertedOutput(table)),
+              table);
+  }
+}
+
+TEST(LutCircuitAlgebra, ExtractionNodeCountBounded) {
+  // A reduced 4-variable BDD has at most 2^4 - 1 internal nodes; typical
+  // functions are far smaller.
+  Rng rng(6);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto table = static_cast<std::uint16_t>(rng.below(0x10000));
+    core::ExtractedCircuit c(table);
+    EXPECT_LE(c.internalLineCount(), 15u);
+  }
+}
+
+// ------------------------------------------------------- assembler fuzz -----
+
+/// Generate a random but CONTROL-FLOW-SAFE program: straight-line random
+/// data instructions, ending in the idle loop. Branches are excluded so the
+/// program cannot wander into garbage.
+std::string randomStraightLineProgram(std::uint64_t seed, unsigned count) {
+  Rng rng(seed);
+  std::ostringstream s;
+  s << "  MOV SP, #0x60\n";
+  auto dir = [&] {
+    // Direct addresses in scratch IRAM.
+    return "0x" + std::to_string(30 + rng.below(40));
+  };
+  for (unsigned i = 0; i < count; ++i) {
+    switch (rng.below(16)) {
+      case 0: s << "  MOV A, #" << rng.below(256) << "\n"; break;
+      case 1: s << "  MOV R" << rng.below(8) << ", #" << rng.below(256) << "\n"; break;
+      case 2: s << "  ADD A, R" << rng.below(8) << "\n"; break;
+      case 3: s << "  SUBB A, #" << rng.below(256) << "\n"; break;
+      case 4: s << "  ANL A, #" << rng.below(256) << "\n"; break;
+      case 5: s << "  ORL A, R" << rng.below(8) << "\n"; break;
+      case 6: s << "  XRL A, #" << rng.below(256) << "\n"; break;
+      case 7: s << "  RL A\n"; break;
+      case 8: s << "  RRC A\n"; break;
+      case 9: s << "  INC A\n"; break;
+      case 10: s << "  DEC R" << rng.below(8) << "\n"; break;
+      case 11: s << "  MOV " << dir() << ", A\n"; break;
+      case 12: s << "  XCH A, R" << rng.below(8) << "\n"; break;
+      case 13: s << "  PUSH PSW\n  POP B\n"; break;
+      case 14: s << "  CPL A\n"; break;
+      default: s << "  ADDC A, #" << rng.below(256) << "\n"; break;
+    }
+  }
+  s << "  MOV P1, A\n  MOV P0, #0x99\nend: SJMP $\n";
+  return s.str();
+}
+
+class AssemblerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssemblerFuzz, IssAndRtlAgreeOnRandomPrograms) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto src = randomStraightLineProgram(seed, 60);
+  const auto prog = mc8051::assemble(src);
+
+  mc8051::Iss iss(prog.bytes);
+  std::uint64_t guard = 0;
+  while (iss.p0() != 0x99 && ++guard < 20000) iss.stepInstruction();
+  ASSERT_EQ(iss.p0(), 0x99) << "program did not finish";
+
+  const auto nl = mc8051::buildCore(prog.bytes);
+  sim::Simulator simulator(nl);
+  simulator.run(iss.cycleCount() + 8);
+  iss.runCycles(iss.cycleCount() + 8);
+
+  EXPECT_EQ(simulator.portValue("acc"), iss.acc()) << src;
+  EXPECT_EQ(simulator.portValue("p1"), iss.p1());
+  EXPECT_EQ(simulator.portValue("sp"), iss.sp());
+  EXPECT_EQ(simulator.portValue("pc"), iss.pc());
+  for (unsigned a = 0; a < 128; ++a) {
+    netlist::RamId iram{};
+    for (std::uint32_t r = 0; r < nl.ramCount(); ++r) {
+      if (nl.ram(netlist::RamId{r}).name == "iram") iram = netlist::RamId{r};
+    }
+    ASSERT_EQ(simulator.ramWord(iram, a), iss.iram(static_cast<std::uint8_t>(a)))
+        << "iram[" << a << "] seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerFuzz, ::testing::Range(1, 11));
+
+// ------------------------------------------------------ RNG statistical -----
+
+TEST(RngProperty, ForkedStreamsPassChiSquareSmoke) {
+  // 256-bucket chi-square on a forked stream; catches gross bias.
+  Rng parent(12345);
+  Rng rng = parent.fork(3);
+  std::vector<unsigned> buckets(256, 0);
+  const unsigned draws = 256 * 64;
+  for (unsigned i = 0; i < draws; ++i) ++buckets[rng.below(256)];
+  double chi2 = 0;
+  const double expected = draws / 256.0;
+  for (auto c : buckets) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 255 degrees of freedom: mean 255, stddev ~22.6; allow 5 sigma.
+  EXPECT_GT(chi2, 255 - 5 * 22.6);
+  EXPECT_LT(chi2, 255 + 5 * 22.6);
+}
+
+}  // namespace
+}  // namespace fades

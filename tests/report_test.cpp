@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "campaign/report.hpp"
+#include "common/error.hpp"
+
+namespace fades::campaign {
+namespace {
+
+CampaignResult sampleResult() {
+  CampaignResult r;
+  r.spec.model = FaultModel::Pulse;
+  r.spec.targets = TargetClass::CombinationalLut;
+  r.spec.band = DurationBand::shortBand();
+  r.add(Outcome::Failure, 0.25);
+  r.add(Outcome::Silent, 0.30);
+  r.add(Outcome::Silent, 0.35);
+  r.add(Outcome::Latent, 0.20);
+  r.records.push_back(
+      ExperimentRecord{"lut:alu_result[3]", 120, 4.5, Outcome::Failure, 0.25});
+  r.records.push_back(
+      ExperimentRecord{"lut, with comma", 7, 1.0, Outcome::Silent, 0.30});
+  return r;
+}
+
+TEST(Report, MarkdownContainsAllColumns) {
+  const auto md = toMarkdown("Demo", {{"pulse ALU", sampleResult()}});
+  EXPECT_NE(md.find("## Demo"), std::string::npos);
+  EXPECT_NE(md.find("| pulse ALU | 4 | 1 | 1 | 2 |"), std::string::npos);
+  EXPECT_NE(md.find("25.00"), std::string::npos);  // failure %
+  EXPECT_NE(md.find("0.275"), std::string::npos);  // mean seconds
+}
+
+TEST(Report, CsvRoundableFields) {
+  const auto csv = toCsv({{"c1", sampleResult()}});
+  EXPECT_NE(csv.find("campaign,model,targets,band"), std::string::npos);
+  EXPECT_NE(csv.find("c1,pulse,LUTs,1-10,4,1,1,2,"), std::string::npos);
+}
+
+TEST(Report, CsvQuotesCommasInLabels) {
+  const auto csv = toCsv({{"a,b", sampleResult()}});
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+}
+
+TEST(Report, RecordsCsvListsEveryExperiment) {
+  const auto csv = recordsToCsv(sampleResult());
+  EXPECT_NE(csv.find("lut:alu_result[3],120,4.500,failure,0.250000"),
+            std::string::npos);
+  EXPECT_NE(csv.find("\"lut, with comma\""), std::string::npos);
+}
+
+TEST(Report, RecordsCsvRequiresRecords) {
+  CampaignResult empty;
+  empty.add(Outcome::Silent, 0.1);
+  EXPECT_THROW(recordsToCsv(empty), common::FadesError);
+}
+
+TEST(Report, WriteTextFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/fades_report.md";
+  writeTextFile(path, "hello report\n");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[32] = {};
+  const auto n = std::fread(buf, 1, sizeof buf, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "hello report\n");
+}
+
+}  // namespace
+}  // namespace fades::campaign

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "rtl/builder.hpp"
+#include "sim/simulator.hpp"
+
+namespace fades::rtl {
+namespace {
+
+using common::FadesError;
+using netlist::Netlist;
+using sim::Simulator;
+
+/// Build a two-operand combinational device and exhaustively compare it to a
+/// reference function over all (a, b, cin) combinations at the given width.
+struct CombFixture {
+  Netlist nl;
+  std::unique_ptr<Simulator> simulator;
+
+  template <typename BuildFn>
+  void build(unsigned width, BuildFn&& fn) {
+    Builder b;
+    Bus a = b.input("a", width);
+    Bus bb = b.input("b", width);
+    NetId cin = b.inputBit("cin");
+    fn(b, a, bb, cin);
+    nl = b.finish();
+    simulator = std::make_unique<Simulator>(nl);
+  }
+
+  std::uint64_t eval(std::uint64_t a, std::uint64_t b, bool cin,
+                     const std::string& out) {
+    simulator->setInput("a", a);
+    simulator->setInput("b", b);
+    simulator->setInput("cin", cin);
+    simulator->settle();
+    return simulator->portValue(out);
+  }
+};
+
+class AdderWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AdderWidthTest, AddMatchesReferenceExhaustively) {
+  const unsigned w = GetParam();
+  CombFixture f;
+  f.build(w, [](Builder& b, const Bus& a, const Bus& bb, NetId cin) {
+    auto r = b.add(a, bb, cin);
+    b.output("sum", r.sum);
+    b.output("cout", r.carryOut);
+    b.output("ov", r.overflow);
+  });
+  const std::uint64_t mask = (1ULL << w) - 1;
+  for (std::uint64_t a = 0; a <= mask; ++a) {
+    for (std::uint64_t bb = 0; bb <= mask; ++bb) {
+      for (int cin = 0; cin <= 1; ++cin) {
+        const std::uint64_t full = a + bb + static_cast<std::uint64_t>(cin);
+        EXPECT_EQ(f.eval(a, bb, cin, "sum"), full & mask);
+        EXPECT_EQ(f.simulator->portValue("cout"), (full >> w) & 1);
+        // Signed overflow reference.
+        const auto sign = [&](std::uint64_t v) { return (v >> (w - 1)) & 1; };
+        const bool ov =
+            sign(a) == sign(bb) && sign(full & mask) != sign(a);
+        EXPECT_EQ(f.simulator->portValue("ov"), ov ? 1u : 0u)
+            << a << "+" << bb << "+" << cin;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidthTest, ::testing::Values(1u, 4u, 6u),
+                         ::testing::PrintToStringParamName());
+
+class SubWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SubWidthTest, SubMatchesReferenceExhaustively) {
+  const unsigned w = GetParam();
+  CombFixture f;
+  f.build(w, [](Builder& b, const Bus& a, const Bus& bb, NetId cin) {
+    auto r = b.sub(a, bb, cin);
+    b.output("diff", r.sum);
+    b.output("borrow", r.carryOut);
+  });
+  const std::uint64_t mask = (1ULL << w) - 1;
+  for (std::uint64_t a = 0; a <= mask; ++a) {
+    for (std::uint64_t bb = 0; bb <= mask; ++bb) {
+      for (int bin = 0; bin <= 1; ++bin) {
+        const std::uint64_t ref = a - bb - static_cast<std::uint64_t>(bin);
+        EXPECT_EQ(f.eval(a, bb, bin, "diff"), ref & mask);
+        const bool borrow = a < bb + static_cast<std::uint64_t>(bin);
+        EXPECT_EQ(f.simulator->portValue("borrow"), borrow ? 1u : 0u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SubWidthTest, ::testing::Values(1u, 4u, 5u),
+                         ::testing::PrintToStringParamName());
+
+TEST(Rtl, AuxCarryMatches8051Semantics) {
+  CombFixture f;
+  f.build(8, [](Builder& b, const Bus& a, const Bus& bb, NetId cin) {
+    auto r = b.add(a, bb, cin);
+    b.output("ac", r.auxCarry);
+  });
+  // 0x08 + 0x08 carries out of bit 3.
+  f.eval(0x08, 0x08, false, "ac");
+  EXPECT_EQ(f.simulator->portValue("ac"), 1u);
+  f.eval(0x07, 0x08, false, "ac");
+  EXPECT_EQ(f.simulator->portValue("ac"), 0u);
+  f.eval(0x0F, 0x01, false, "ac");
+  EXPECT_EQ(f.simulator->portValue("ac"), 1u);
+}
+
+TEST(Rtl, BitwiseOpsAndMux) {
+  CombFixture f;
+  f.build(8, [](Builder& b, const Bus& a, const Bus& bb, NetId cin) {
+    b.output("and", b.bAnd(a, bb));
+    b.output("or", b.bOr(a, bb));
+    b.output("xor", b.bXor(a, bb));
+    b.output("nota", b.bNot(a));
+    b.output("mux", b.bMux(cin, a, bb));
+  });
+  for (auto [a, bb] : {std::pair<std::uint64_t, std::uint64_t>{0x5A, 0x3C},
+                       {0xFF, 0x00},
+                       {0x81, 0x7E}}) {
+    f.eval(a, bb, false, "and");
+    EXPECT_EQ(f.simulator->portValue("and"), a & bb);
+    EXPECT_EQ(f.simulator->portValue("or"), a | bb);
+    EXPECT_EQ(f.simulator->portValue("xor"), a ^ bb);
+    EXPECT_EQ(f.simulator->portValue("nota"), (~a) & 0xFF);
+    EXPECT_EQ(f.simulator->portValue("mux"), bb);  // cin=0 selects whenFalse
+    f.eval(a, bb, true, "mux");
+    EXPECT_EQ(f.simulator->portValue("mux"), a);
+  }
+}
+
+TEST(Rtl, IncrementDecrementWrap) {
+  CombFixture f;
+  f.build(8, [](Builder& b, const Bus& a, const Bus&, NetId) {
+    b.output("inc", b.increment(a));
+    b.output("dec", b.decrement(a));
+  });
+  for (std::uint64_t a : {0ULL, 1ULL, 0x7FULL, 0xFFULL, 0x80ULL}) {
+    f.eval(a, 0, false, "inc");
+    EXPECT_EQ(f.simulator->portValue("inc"), (a + 1) & 0xFF);
+    EXPECT_EQ(f.simulator->portValue("dec"), (a - 1) & 0xFF);
+  }
+}
+
+TEST(Rtl, ComparisonHelpers) {
+  CombFixture f;
+  f.build(8, [](Builder& b, const Bus& a, const Bus& bb, NetId) {
+    b.output("eq", b.eq(a, bb));
+    b.output("eq42", b.eqConst(a, 42));
+    b.output("zero", b.isZero(a));
+  });
+  f.eval(42, 42, false, "eq");
+  EXPECT_EQ(f.simulator->portValue("eq"), 1u);
+  EXPECT_EQ(f.simulator->portValue("eq42"), 1u);
+  EXPECT_EQ(f.simulator->portValue("zero"), 0u);
+  f.eval(0, 42, false, "eq");
+  EXPECT_EQ(f.simulator->portValue("eq"), 0u);
+  EXPECT_EQ(f.simulator->portValue("eq42"), 0u);
+  EXPECT_EQ(f.simulator->portValue("zero"), 1u);
+}
+
+TEST(Rtl, RotatesMatchReference) {
+  CombFixture f;
+  f.build(8, [](Builder& b, const Bus& a, const Bus&, NetId) {
+    b.output("rl", b.rotateLeft1(a));
+    b.output("rr", b.rotateRight1(a));
+  });
+  for (std::uint64_t a : {0x01ULL, 0x80ULL, 0xA5ULL, 0xFFULL}) {
+    f.eval(a, 0, false, "rl");
+    EXPECT_EQ(f.simulator->portValue("rl"), ((a << 1) | (a >> 7)) & 0xFF);
+    EXPECT_EQ(f.simulator->portValue("rr"), ((a >> 1) | (a << 7)) & 0xFF);
+  }
+}
+
+TEST(Rtl, SelectPriorityOrder) {
+  Builder b;
+  Bus sel = b.input("sel", 2);
+  Bus out = b.select(b.constant(0, 4),
+                     {{sel[0], b.constant(1, 4)}, {sel[1], b.constant(2, 4)}});
+  b.output("out", out);
+  Netlist nl = b.finish();
+  Simulator s(nl);
+  s.setInput("sel", 0b00);
+  s.settle();
+  EXPECT_EQ(s.portValue("out"), 0u);
+  s.setInput("sel", 0b10);
+  s.settle();
+  EXPECT_EQ(s.portValue("out"), 2u);
+  s.setInput("sel", 0b01);
+  s.settle();
+  EXPECT_EQ(s.portValue("out"), 1u);
+  s.setInput("sel", 0b11);  // first case wins
+  s.settle();
+  EXPECT_EQ(s.portValue("out"), 1u);
+}
+
+TEST(Rtl, DecodeOneHot) {
+  Builder b;
+  Bus a = b.input("a", 3);
+  b.output("hot", b.decodeOneHot(a));
+  Netlist nl = b.finish();
+  Simulator s(nl);
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    s.setInput("a", v);
+    s.settle();
+    EXPECT_EQ(s.portValue("hot"), 1ULL << v);
+  }
+}
+
+TEST(Rtl, RegisterFeedbackCounter) {
+  Builder b;
+  Register count = b.makeRegister("count", 4, 0);
+  b.connect(count, b.increment(count.q));
+  b.output("count", count.q);
+  Netlist nl = b.finish();
+  Simulator s(nl);
+  EXPECT_EQ(s.portValue("count"), 0u);
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    s.step();
+    EXPECT_EQ(s.portValue("count"), i & 0xF);
+  }
+}
+
+TEST(Rtl, RegisterInitValue) {
+  Builder b;
+  Register r = b.makeRegister("r", 8, 0xC3);
+  b.connect(r, r.q);  // hold
+  b.output("r", r.q);
+  Netlist nl = b.finish();
+  Simulator s(nl);
+  EXPECT_EQ(s.portValue("r"), 0xC3u);
+  s.step();
+  EXPECT_EQ(s.portValue("r"), 0xC3u);
+}
+
+TEST(Rtl, DoubleConnectRejected) {
+  Builder b;
+  Register r = b.makeRegister("r", 1, 0);
+  b.connect(r, Bus{b.zero()});
+  EXPECT_THROW(b.connect(r, Bus{b.one()}), FadesError);
+}
+
+TEST(Rtl, WidthMismatchRejected) {
+  Builder b;
+  Bus a = b.input("a", 4);
+  Bus c = b.input("c", 5);
+  EXPECT_THROW(b.bAnd(a, c), FadesError);
+  EXPECT_THROW((void)b.add(a, c, {}), FadesError);
+}
+
+TEST(Rtl, ZeroExtendAndSlice) {
+  Builder b;
+  Bus a = b.input("a", 4);
+  b.output("ext", b.zeroExtend(a, 8));
+  b.output("hi", b.slice(a, 2, 2));
+  Netlist nl = b.finish();
+  Simulator s(nl);
+  s.setInput("a", 0b1101);
+  s.settle();
+  EXPECT_EQ(s.portValue("ext"), 0b1101u);
+  EXPECT_EQ(s.portValue("hi"), 0b11u);
+}
+
+TEST(Rtl, FlopNamingConvention) {
+  Builder b;
+  b.setUnit(netlist::Unit::Registers);
+  Register acc = b.makeRegister("acc", 8, 0);
+  b.connect(acc, acc.q);
+  b.output("acc", acc.q);
+  Netlist nl = b.finish();
+  EXPECT_TRUE(nl.findFlop("acc[0]").has_value());
+  EXPECT_TRUE(nl.findFlop("acc[7]").has_value());
+  EXPECT_FALSE(nl.findFlop("acc[8]").has_value());
+  EXPECT_EQ(nl.flop(*nl.findFlop("acc[3]")).unit, netlist::Unit::Registers);
+}
+
+TEST(Rtl, RomReadThroughSimulator) {
+  Builder b;
+  Bus addr = b.input("addr", 3);
+  std::vector<std::uint8_t> init(8);
+  for (int i = 0; i < 8; ++i) init[i] = static_cast<std::uint8_t>(i * 17);
+  b.output("data", b.rom("rom", 3, 8, addr, init));
+  Netlist nl = b.finish();
+  Simulator s(nl);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    s.setInput("addr", a);
+    s.step();  // synchronous read: value appears after the edge
+    EXPECT_EQ(s.portValue("data"), (a * 17) & 0xFF);
+  }
+}
+
+}  // namespace
+}  // namespace fades::rtl
