@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ctr_rtr.dir/bench_ablation_ctr_rtr.cpp.o"
+  "CMakeFiles/bench_ablation_ctr_rtr.dir/bench_ablation_ctr_rtr.cpp.o.d"
+  "bench_ablation_ctr_rtr"
+  "bench_ablation_ctr_rtr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ctr_rtr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

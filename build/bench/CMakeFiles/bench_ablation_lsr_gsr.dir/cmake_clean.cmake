@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lsr_gsr.dir/bench_ablation_lsr_gsr.cpp.o"
+  "CMakeFiles/bench_ablation_lsr_gsr.dir/bench_ablation_lsr_gsr.cpp.o.d"
+  "bench_ablation_lsr_gsr"
+  "bench_ablation_lsr_gsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lsr_gsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

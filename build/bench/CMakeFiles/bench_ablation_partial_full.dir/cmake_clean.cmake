@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_partial_full.dir/bench_ablation_partial_full.cpp.o"
+  "CMakeFiles/bench_ablation_partial_full.dir/bench_ablation_partial_full.cpp.o.d"
+  "bench_ablation_partial_full"
+  "bench_ablation_partial_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_partial_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

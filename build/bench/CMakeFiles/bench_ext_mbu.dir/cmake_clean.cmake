@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mbu.dir/bench_ext_mbu.cpp.o"
+  "CMakeFiles/bench_ext_mbu.dir/bench_ext_mbu.cpp.o.d"
+  "bench_ext_mbu"
+  "bench_ext_mbu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mbu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_permanent.dir/bench_ext_permanent.cpp.o"
+  "CMakeFiles/bench_ext_permanent.dir/bench_ext_permanent.cpp.o.d"
+  "bench_ext_permanent"
+  "bench_ext_permanent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_permanent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

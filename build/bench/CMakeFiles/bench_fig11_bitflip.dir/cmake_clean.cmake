@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_bitflip.dir/bench_fig11_bitflip.cpp.o"
+  "CMakeFiles/bench_fig11_bitflip.dir/bench_fig11_bitflip.cpp.o.d"
+  "bench_fig11_bitflip"
+  "bench_fig11_bitflip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_bitflip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

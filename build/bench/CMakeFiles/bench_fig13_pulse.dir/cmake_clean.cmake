@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_pulse.dir/bench_fig13_pulse.cpp.o"
+  "CMakeFiles/bench_fig13_pulse.dir/bench_fig13_pulse.cpp.o.d"
+  "bench_fig13_pulse"
+  "bench_fig13_pulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

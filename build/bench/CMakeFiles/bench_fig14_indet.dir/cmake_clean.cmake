@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_indet.dir/bench_fig14_indet.cpp.o"
+  "CMakeFiles/bench_fig14_indet.dir/bench_fig14_indet.cpp.o.d"
+  "bench_fig14_indet"
+  "bench_fig14_indet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_indet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_delay.dir/bench_fig15_delay.cpp.o"
+  "CMakeFiles/bench_fig15_delay.dir/bench_fig15_delay.cpp.o.d"
+  "bench_fig15_delay"
+  "bench_fig15_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_multibitflip.dir/bench_table4_multibitflip.cpp.o"
+  "CMakeFiles/bench_table4_multibitflip.dir/bench_table4_multibitflip.cpp.o.d"
+  "bench_table4_multibitflip"
+  "bench_table4_multibitflip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_multibitflip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

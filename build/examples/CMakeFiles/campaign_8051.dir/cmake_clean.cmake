@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_8051.dir/campaign_8051.cpp.o"
+  "CMakeFiles/campaign_8051.dir/campaign_8051.cpp.o.d"
+  "campaign_8051"
+  "campaign_8051.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_8051.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_core_injection.dir/ip_core_injection.cpp.o"
+  "CMakeFiles/ip_core_injection.dir/ip_core_injection.cpp.o.d"
+  "ip_core_injection"
+  "ip_core_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_core_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

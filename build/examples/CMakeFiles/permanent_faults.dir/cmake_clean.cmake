@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permanent_faults.dir/permanent_faults.cpp.o"
+  "CMakeFiles/permanent_faults.dir/permanent_faults.cpp.o.d"
+  "permanent_faults"
+  "permanent_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permanent_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

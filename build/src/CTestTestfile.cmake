@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("netlist")
+subdirs("rtl")
+subdirs("sim")
+subdirs("fpga")
+subdirs("bits")
+subdirs("synth")
+subdirs("mc8051")
+subdirs("vfit")
+subdirs("core")
+subdirs("campaign")

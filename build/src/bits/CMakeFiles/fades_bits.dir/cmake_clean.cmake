@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fades_bits.dir/config_port.cpp.o"
+  "CMakeFiles/fades_bits.dir/config_port.cpp.o.d"
+  "libfades_bits.a"
+  "libfades_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fades_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fades_campaign.dir/report.cpp.o"
+  "CMakeFiles/fades_campaign.dir/report.cpp.o.d"
+  "CMakeFiles/fades_campaign.dir/types.cpp.o"
+  "CMakeFiles/fades_campaign.dir/types.cpp.o.d"
+  "libfades_campaign.a"
+  "libfades_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fades_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fades_common.dir/bitvector.cpp.o"
+  "CMakeFiles/fades_common.dir/bitvector.cpp.o.d"
+  "CMakeFiles/fades_common.dir/stats.cpp.o"
+  "CMakeFiles/fades_common.dir/stats.cpp.o.d"
+  "libfades_common.a"
+  "libfades_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fades_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fades_core.dir/fades.cpp.o"
+  "CMakeFiles/fades_core.dir/fades.cpp.o.d"
+  "CMakeFiles/fades_core.dir/lut_circuit.cpp.o"
+  "CMakeFiles/fades_core.dir/lut_circuit.cpp.o.d"
+  "CMakeFiles/fades_core.dir/permanent.cpp.o"
+  "CMakeFiles/fades_core.dir/permanent.cpp.o.d"
+  "libfades_core.a"
+  "libfades_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fades_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/bitstream_io.cpp" "src/fpga/CMakeFiles/fades_fpga.dir/bitstream_io.cpp.o" "gcc" "src/fpga/CMakeFiles/fades_fpga.dir/bitstream_io.cpp.o.d"
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/fades_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/fades_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/layout.cpp" "src/fpga/CMakeFiles/fades_fpga.dir/layout.cpp.o" "gcc" "src/fpga/CMakeFiles/fades_fpga.dir/layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fades_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fades_fpga.dir/bitstream_io.cpp.o"
+  "CMakeFiles/fades_fpga.dir/bitstream_io.cpp.o.d"
+  "CMakeFiles/fades_fpga.dir/device.cpp.o"
+  "CMakeFiles/fades_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/fades_fpga.dir/layout.cpp.o"
+  "CMakeFiles/fades_fpga.dir/layout.cpp.o.d"
+  "libfades_fpga.a"
+  "libfades_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fades_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc8051/assembler.cpp" "src/mc8051/CMakeFiles/fades_mc8051.dir/assembler.cpp.o" "gcc" "src/mc8051/CMakeFiles/fades_mc8051.dir/assembler.cpp.o.d"
+  "/root/repo/src/mc8051/core.cpp" "src/mc8051/CMakeFiles/fades_mc8051.dir/core.cpp.o" "gcc" "src/mc8051/CMakeFiles/fades_mc8051.dir/core.cpp.o.d"
+  "/root/repo/src/mc8051/isa.cpp" "src/mc8051/CMakeFiles/fades_mc8051.dir/isa.cpp.o" "gcc" "src/mc8051/CMakeFiles/fades_mc8051.dir/isa.cpp.o.d"
+  "/root/repo/src/mc8051/iss.cpp" "src/mc8051/CMakeFiles/fades_mc8051.dir/iss.cpp.o" "gcc" "src/mc8051/CMakeFiles/fades_mc8051.dir/iss.cpp.o.d"
+  "/root/repo/src/mc8051/workloads.cpp" "src/mc8051/CMakeFiles/fades_mc8051.dir/workloads.cpp.o" "gcc" "src/mc8051/CMakeFiles/fades_mc8051.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/fades_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fades_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fades_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

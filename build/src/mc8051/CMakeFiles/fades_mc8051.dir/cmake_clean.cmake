@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fades_mc8051.dir/assembler.cpp.o"
+  "CMakeFiles/fades_mc8051.dir/assembler.cpp.o.d"
+  "CMakeFiles/fades_mc8051.dir/core.cpp.o"
+  "CMakeFiles/fades_mc8051.dir/core.cpp.o.d"
+  "CMakeFiles/fades_mc8051.dir/isa.cpp.o"
+  "CMakeFiles/fades_mc8051.dir/isa.cpp.o.d"
+  "CMakeFiles/fades_mc8051.dir/iss.cpp.o"
+  "CMakeFiles/fades_mc8051.dir/iss.cpp.o.d"
+  "CMakeFiles/fades_mc8051.dir/workloads.cpp.o"
+  "CMakeFiles/fades_mc8051.dir/workloads.cpp.o.d"
+  "libfades_mc8051.a"
+  "libfades_mc8051.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fades_mc8051.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

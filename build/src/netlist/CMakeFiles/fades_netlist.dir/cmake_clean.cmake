@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fades_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/fades_netlist.dir/netlist.cpp.o.d"
+  "libfades_netlist.a"
+  "libfades_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fades_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

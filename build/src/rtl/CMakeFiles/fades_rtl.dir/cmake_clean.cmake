@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fades_rtl.dir/builder.cpp.o"
+  "CMakeFiles/fades_rtl.dir/builder.cpp.o.d"
+  "libfades_rtl.a"
+  "libfades_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fades_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

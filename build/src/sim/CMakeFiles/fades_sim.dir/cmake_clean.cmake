@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fades_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fades_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/fades_sim.dir/vcd.cpp.o"
+  "CMakeFiles/fades_sim.dir/vcd.cpp.o.d"
+  "libfades_sim.a"
+  "libfades_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fades_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

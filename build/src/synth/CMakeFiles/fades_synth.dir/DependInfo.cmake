@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/implement.cpp" "src/synth/CMakeFiles/fades_synth.dir/implement.cpp.o" "gcc" "src/synth/CMakeFiles/fades_synth.dir/implement.cpp.o.d"
+  "/root/repo/src/synth/instrument.cpp" "src/synth/CMakeFiles/fades_synth.dir/instrument.cpp.o" "gcc" "src/synth/CMakeFiles/fades_synth.dir/instrument.cpp.o.d"
+  "/root/repo/src/synth/place.cpp" "src/synth/CMakeFiles/fades_synth.dir/place.cpp.o" "gcc" "src/synth/CMakeFiles/fades_synth.dir/place.cpp.o.d"
+  "/root/repo/src/synth/route.cpp" "src/synth/CMakeFiles/fades_synth.dir/route.cpp.o" "gcc" "src/synth/CMakeFiles/fades_synth.dir/route.cpp.o.d"
+  "/root/repo/src/synth/techmap.cpp" "src/synth/CMakeFiles/fades_synth.dir/techmap.cpp.o" "gcc" "src/synth/CMakeFiles/fades_synth.dir/techmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/fades_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/fades_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fades_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

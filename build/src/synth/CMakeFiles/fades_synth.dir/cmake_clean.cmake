@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fades_synth.dir/implement.cpp.o"
+  "CMakeFiles/fades_synth.dir/implement.cpp.o.d"
+  "CMakeFiles/fades_synth.dir/instrument.cpp.o"
+  "CMakeFiles/fades_synth.dir/instrument.cpp.o.d"
+  "CMakeFiles/fades_synth.dir/place.cpp.o"
+  "CMakeFiles/fades_synth.dir/place.cpp.o.d"
+  "CMakeFiles/fades_synth.dir/route.cpp.o"
+  "CMakeFiles/fades_synth.dir/route.cpp.o.d"
+  "CMakeFiles/fades_synth.dir/techmap.cpp.o"
+  "CMakeFiles/fades_synth.dir/techmap.cpp.o.d"
+  "libfades_synth.a"
+  "libfades_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fades_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fades_vfit.dir/vfit.cpp.o"
+  "CMakeFiles/fades_vfit.dir/vfit.cpp.o.d"
+  "libfades_vfit.a"
+  "libfades_vfit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fades_vfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

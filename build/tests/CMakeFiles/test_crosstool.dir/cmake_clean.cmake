@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crosstool.dir/crosstool_test.cpp.o"
+  "CMakeFiles/test_crosstool.dir/crosstool_test.cpp.o.d"
+  "test_crosstool"
+  "test_crosstool.pdb"
+  "test_crosstool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crosstool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_edge.dir/fpga_edge_test.cpp.o"
+  "CMakeFiles/test_fpga_edge.dir/fpga_edge_test.cpp.o.d"
+  "test_fpga_edge"
+  "test_fpga_edge.pdb"
+  "test_fpga_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

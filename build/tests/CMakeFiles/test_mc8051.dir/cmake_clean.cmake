@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc8051.dir/mc8051_test.cpp.o"
+  "CMakeFiles/test_mc8051.dir/mc8051_test.cpp.o.d"
+  "test_mc8051"
+  "test_mc8051.pdb"
+  "test_mc8051[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc8051.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

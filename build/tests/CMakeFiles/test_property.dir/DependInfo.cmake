@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/test_property.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fades_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc8051/CMakeFiles/fades_mc8051.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/fades_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fades_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/campaign/CMakeFiles/fades_campaign.dir/DependInfo.cmake"
+  "/root/repo/build/src/bits/CMakeFiles/fades_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fades_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/fades_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fades_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fades_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
