@@ -18,7 +18,8 @@
 using namespace fades;
 using namespace fades::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun benchRun("ablation_ctr_rtr", argc, argv);
   System8051 sys;
   sys.printHeadline();
   using Clock = std::chrono::steady_clock;

@@ -14,7 +14,8 @@ using campaign::Outcome;
 using campaign::TargetClass;
 using netlist::Unit;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun benchRun("ablation_lsr_gsr", argc, argv);
   System8051 sys;
   sys.printHeadline();
   const unsigned n = timingCount(50);

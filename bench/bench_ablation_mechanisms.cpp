@@ -17,7 +17,8 @@ using campaign::FaultModel;
 using campaign::TargetClass;
 using netlist::Unit;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun benchRun("ablation_mechanisms", argc, argv);
   System8051 sys;
   sys.printHeadline();
   const unsigned n = std::min(timingCount(50), 50u);

@@ -28,7 +28,8 @@ campaign::CampaignResult run(core::FadesTool& tool, unsigned n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun benchRun("ablation_partial_full", argc, argv);
   System8051 sys;
   sys.printHeadline();
   const unsigned n = std::min(timingCount(40), 40u);

@@ -3,9 +3,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <algorithm>
+#include <exception>
 #include <map>
 
+#include "campaign/artifact.hpp"
 #include "common/stats.hpp"
+#include "obs/artifact.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fades::bench {
 
@@ -19,7 +25,92 @@ unsigned envCount(const char* name, unsigned defaultCount) {
   return defaultCount;
 }
 
+BenchRun* gActiveRun = nullptr;
+
 }  // namespace
+
+BenchRun::BenchRun(std::string name, int argc, char** argv)
+    : name_(std::move(name)) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        jsonPath_ = argv[i + 1];
+      } else {
+        jsonPath_ = "BENCH_" + name_ + ".json";
+      }
+    }
+  }
+  gActiveRun = this;
+  FADES_LOG(Debug) << "bench start" << obs::kv("name", name_)
+                   << obs::kv("json", jsonPath_.empty() ? "-" : jsonPath_);
+}
+
+BenchRun::~BenchRun() {
+  if (gActiveRun == this) gActiveRun = nullptr;
+  if (jsonPath_.empty()) return;
+  obs::RunArtifact artifact("bench", name_);
+  obs::Json spec = obs::Json::object();
+  spec.set("binary", obs::Json("bench_" + name_));
+  if (const char* faults = std::getenv("FADES_FAULTS")) {
+    spec.set("fades_faults", obs::Json(std::string(faults)));
+  }
+  artifact.setSpec(spec);
+  artifact.setSection("tables", tables_);
+  artifact.setSection("campaigns", campaigns_);
+  if (scalars_.size() != 0) artifact.setSection("scalars", scalars_);
+  artifact.setMetrics(obs::Registry::global().snapshotJson());
+  artifact.setSection("trace", obs::TraceBuffer::global().chromeTraceJson());
+  try {
+    artifact.writeJson(jsonPath_);
+    std::printf("Wrote run artifact: %s\n", jsonPath_.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to write %s: %s\n", jsonPath_.c_str(),
+                 e.what());
+  }
+}
+
+void BenchRun::addTable(const std::string& title,
+                        const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  obs::Json t = obs::Json::object();
+  t.set("title", obs::Json(title));
+  obs::Json h = obs::Json::array();
+  for (const auto& cell : header) h.push(obs::Json(cell));
+  t.set("header", h);
+  obs::Json rs = obs::Json::array();
+  for (const auto& row : rows) {
+    obs::Json r = obs::Json::array();
+    for (const auto& cell : row) r.push(obs::Json(cell));
+    rs.push(r);
+  }
+  t.set("rows", rs);
+  tables_.push(std::move(t));
+}
+
+void BenchRun::addCampaign(const std::string& label,
+                           const campaign::CampaignResult& result) {
+  obs::Json c = obs::Json::object();
+  c.set("label", obs::Json(label));
+  c.set("result", campaign::toJson(result));
+  campaigns_.push(std::move(c));
+}
+
+void BenchRun::addScalar(const std::string& name, double value) {
+  scalars_.set(name, obs::Json(value));
+}
+
+void recordCampaign(const std::string& label,
+                    const campaign::CampaignResult& result) {
+  if (gActiveRun != nullptr && gActiveRun->recording()) {
+    gActiveRun->addCampaign(label, result);
+  }
+}
+
+void recordScalar(const std::string& name, double value) {
+  if (gActiveRun != nullptr && gActiveRun->recording()) {
+    gActiveRun->addScalar(name, value);
+  }
+}
 
 unsigned classifyCount(unsigned defaultCount) {
   return envCount("FADES_FAULTS", defaultCount);
@@ -105,6 +196,9 @@ std::string pct3(const campaign::CampaignResult& r) {
 void printTable(const std::string& title,
                 const std::vector<std::string>& header,
                 const std::vector<std::vector<std::string>>& rows) {
+  if (gActiveRun != nullptr && gActiveRun->recording()) {
+    gActiveRun->addTable(title, header, rows);
+  }
   std::printf("%s\n%s\n", title.c_str(),
               common::renderTable(header, rows).c_str());
 }
@@ -124,6 +218,10 @@ std::vector<campaign::CampaignResult> bandSweep(
     spec.seed = seed;
     spec.targetPool = pool;
     out.push_back(tool.runCampaign(spec));
+    recordCampaign(std::string(campaign::toString(model)) + ", " +
+                       std::string(campaign::toString(targets)) + ", " +
+                       band.label + " cycles",
+                   out.back());
   }
   return out;
 }

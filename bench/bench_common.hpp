@@ -18,10 +18,55 @@
 #include "mc8051/core.hpp"
 #include "mc8051/workloads.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/json.hpp"
 #include "synth/implement.hpp"
 #include "vfit/vfit.hpp"
 
 namespace fades::bench {
+
+/// Per-binary run-artifact guard. Construct first thing in main():
+///
+///   int main(int argc, char** argv) {
+///     bench::BenchRun run("fig10_emulation_time", argc, argv);
+///     ...
+///
+/// With `--json [path]` on the command line (path defaults to
+/// BENCH_<name>.json) every printTable / recordCampaign / recordScalar call
+/// is captured, and the destructor writes a `fades.run/1` artifact holding
+/// the tables, campaign results, scalars, the global metrics snapshot and
+/// the Chrome trace of the run. Without the flag the guard is inert and the
+/// bench prints exactly as before.
+class BenchRun {
+ public:
+  BenchRun(std::string name, int argc, char** argv);
+  ~BenchRun();
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  bool recording() const { return !jsonPath_.empty(); }
+  const std::string& jsonPath() const { return jsonPath_; }
+
+  void addTable(const std::string& title,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+  void addCampaign(const std::string& label,
+                   const campaign::CampaignResult& result);
+  void addScalar(const std::string& name, double value);
+
+ private:
+  std::string name_;
+  std::string jsonPath_;
+  obs::Json tables_ = obs::Json::array();
+  obs::Json campaigns_ = obs::Json::array();
+  obs::Json scalars_ = obs::Json::object();
+};
+
+/// Record a campaign result under `label` into the active BenchRun; no-op
+/// when no guard is recording.
+void recordCampaign(const std::string& label,
+                    const campaign::CampaignResult& result);
+/// Record a named headline scalar (speedup factor, eligible count, ...).
+void recordScalar(const std::string& name, double value);
 
 /// Experiment count for outcome-percentage campaigns (env FADES_FAULTS).
 unsigned classifyCount(unsigned defaultCount = 400);

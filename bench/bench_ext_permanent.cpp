@@ -12,7 +12,8 @@
 using namespace fades;
 using namespace fades::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun benchRun("ext_permanent", argc, argv);
   System8051 sys;
   sys.printHeadline();
   auto& fades = sys.fades();

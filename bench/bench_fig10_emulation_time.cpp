@@ -37,7 +37,8 @@ campaign::CampaignResult run(core::FadesTool& tool, FaultModel m,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun benchRun("fig10_emulation_time", argc, argv);
   System8051 sys;
   sys.printHeadline();
   auto& fades = sys.fades();
@@ -47,6 +48,7 @@ int main() {
   std::vector<std::vector<std::string>> rows;
   auto addRow = [&](const std::string& label,
                     const campaign::CampaignResult& r, const char* paper) {
+    recordCampaign(label, r);
     rows.push_back({label, common::fixed(r.modeledSeconds.mean(), 3),
                     common::fixed(r.modeledSeconds.mean() * 3000.0, 0),
                     paper});
@@ -106,6 +108,7 @@ int main() {
              {"fault model / target", "mean s/fault",
               "scaled to 3000 faults (s)", "paper (s, 3000 faults)"},
              rows);
+  recordScalar("setup_seconds", fades.setupSeconds());
   std::printf("One-time bitstream download (not per-experiment): %.2f s\n",
               fades.setupSeconds());
   return 0;

@@ -19,7 +19,8 @@ using campaign::Outcome;
 using campaign::TargetClass;
 using netlist::Unit;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun benchRun("fig11_bitflip", argc, argv);
   System8051 sys;
   sys.printHeadline();
   auto& fades = sys.fades();

@@ -13,7 +13,8 @@ using campaign::FaultModel;
 using campaign::TargetClass;
 using netlist::Unit;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun benchRun("fig13_pulse", argc, argv);
   System8051 sys;
   sys.printHeadline();
   const unsigned n = classifyCount(300);

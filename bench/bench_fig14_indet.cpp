@@ -12,7 +12,8 @@ using campaign::FaultModel;
 using campaign::TargetClass;
 using netlist::Unit;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun benchRun("fig14_indet", argc, argv);
   System8051 sys;
   sys.printHeadline();
   const unsigned n = classifyCount(300);

@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bits/config_port.hpp"
 #include "fpga/device.hpp"
@@ -108,4 +110,26 @@ BENCHMARK(BM_Synthesize8051)->Unit(benchmark::kMillisecond)->Iterations(3);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Same `--json [path]` flag as the table benches, translated onto google
+// benchmark's native JSON reporter so the artifact carries real timings.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string outFlag, fmtFlag = "--benchmark_out_format=json";
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::string(argv[i]) == "--json") {
+      std::string path = "BENCH_microbench.json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[++i];
+      outFlag = "--benchmark_out=" + path;
+      args.push_back(outFlag.data());
+      args.push_back(fmtFlag.data());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

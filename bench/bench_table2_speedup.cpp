@@ -43,7 +43,8 @@ double meanSecondsVfit(vfit::VfitTool& tool, FaultModel m, TargetClass c,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun benchRun("table2_speedup", argc, argv);
   System8051 sys;
   sys.printHeadline();
   auto& fades = sys.fades();

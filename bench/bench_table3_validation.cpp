@@ -52,7 +52,8 @@ std::vector<campaign::CampaignResult> vfitSweep(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun benchRun("table3_validation", argc, argv);
   System8051 sys;
   sys.printHeadline();
   auto& fades = sys.fades();

@@ -17,7 +17,8 @@ using campaign::FaultModel;
 using campaign::TargetClass;
 using netlist::Unit;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun benchRun("table4_multibitflip", argc, argv);
   System8051 sys;
   sys.printHeadline();
   auto& fades = sys.fades();

@@ -3,18 +3,21 @@
 // set-up tool (Figure 9).
 //
 // Usage:
-//   campaign_8051 [model] [targets] [unit] [faults] [band]
-//     model   bitflip | pulse | delay | indet        (default bitflip)
-//     targets ff | memory | lut | seqline | combline  (default ff)
-//     unit    any | registers | ram | alu | mem | fsm (default any)
-//     faults  experiment count                        (default 200)
-//     band    sub | short | long                      (default short)
+//   campaign_8051 [model] [targets] [unit] [faults] [band] [artifact.json]
+//     model    bitflip | pulse | delay | indet        (default bitflip)
+//     targets  ff | memory | lut | seqline | combline  (default ff)
+//     unit     any | registers | ram | alu | mem | fsm (default any)
+//     faults   experiment count                        (default 200)
+//     band     sub | short | long                      (default short)
+//     artifact write a fades.run/1 JSON (or .jsonl) run artifact here,
+//              with one record per experiment
 //
-// Example: ./build/examples/campaign_8051 pulse lut alu 300 long
+// Example: ./build/examples/campaign_8051 pulse lut alu 300 long run.json
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "campaign/artifact.hpp"
 #include "campaign/types.hpp"
 #include "core/fades.hpp"
 #include "fpga/device.hpp"
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
   const unsigned faults =
       static_cast<unsigned>(std::strtoul(arg(4, "200").c_str(), nullptr, 10));
   const std::string bandArg = arg(5, "short");
+  const std::string artifactPath = arg(6, "");
 
   campaign::CampaignSpec spec;
   spec.experiments = faults;
@@ -64,7 +68,9 @@ int main(int argc, char** argv) {
       synth::implement(netlist, fpga::DeviceSpec::virtex1000Like());
   fpga::Device device(impl.spec);
   core::FadesOptions options;
-  options.keepRecords = faults <= 40;  // detail only for small campaigns
+  // Console detail only for small campaigns, but an artifact request keeps
+  // the per-experiment records regardless so the JSON carries every row.
+  options.keepRecords = faults <= 40 || !artifactPath.empty();
   core::FadesTool fades(device, impl, workload.cycles, options);
 
   std::printf("Running %u %s faults on %s",
@@ -84,11 +90,31 @@ int main(int argc, char** argv) {
   std::printf("  modeled emulation time: %.3f s/fault (total %.0f s for the "
               "campaign)\n",
               result.modeledSeconds.mean(), result.modeledSeconds.sum());
-  for (const auto& r : result.records) {
-    std::printf("    cycle %5llu  %-10s  dur %5.2f  %s\n",
-                static_cast<unsigned long long>(r.injectCycle),
-                r.targetName.c_str(), r.durationCycles,
-                campaign::toString(r.outcome));
+  if (faults <= 40) {
+    for (const auto& r : result.records) {
+      std::printf("    cycle %5llu  %-10s  dur %5.2f  %s\n",
+                  static_cast<unsigned long long>(r.injectCycle),
+                  r.targetName.c_str(), r.durationCycles,
+                  campaign::toString(r.outcome));
+    }
+  }
+  if (!artifactPath.empty()) {
+    const auto artifact = campaign::toRunArtifact(
+        result, modelArg + "_" + targetArg + "_" + unitArg);
+    // Don't let a bad path abort after minutes of campaign: report and fail.
+    try {
+      if (artifactPath.size() > 6 &&
+          artifactPath.substr(artifactPath.size() - 6) == ".jsonl") {
+        artifact.writeJsonl(artifactPath);
+      } else {
+        artifact.writeJson(artifactPath);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::printf("Wrote run artifact: %s (%zu records)\n",
+                artifactPath.c_str(), artifact.recordCount());
   }
   return 0;
 }

@@ -13,57 +13,49 @@ using fpga::Plane;
 
 std::vector<std::uint8_t> ConfigPort::readLogicFrame(FrameAddr f) {
   auto bytes = dev_.readLogicFrame(f);
-  ++meter_.readOps;
-  meter_.bytesFromDevice += bytes.size();
+  noteRead(bytes.size());
   return bytes;
 }
 
 void ConfigPort::writeLogicFrame(FrameAddr f,
                                  std::span<const std::uint8_t> bytes) {
   dev_.writeLogicFrame(f, bytes);
-  ++meter_.writeOps;
-  meter_.bytesToDevice += bytes.size();
+  noteWrite(bytes.size());
 }
 
 std::vector<std::uint8_t> ConfigPort::readBramFrame(unsigned block,
                                                     unsigned minor) {
   auto bytes = dev_.readBramFrame(block, minor);
-  ++meter_.readOps;
-  meter_.bytesFromDevice += bytes.size();
+  noteRead(bytes.size());
   return bytes;
 }
 
 void ConfigPort::writeBramFrame(unsigned block, unsigned minor,
                                 std::span<const std::uint8_t> bytes) {
   dev_.writeBramFrame(block, minor, bytes);
-  ++meter_.writeOps;
-  meter_.bytesToDevice += bytes.size();
+  noteWrite(bytes.size());
 }
 
 std::vector<std::uint8_t> ConfigPort::readCaptureFrame(unsigned col) {
   auto bytes = dev_.readCaptureFrame(col);
-  ++meter_.captureOps;
-  meter_.bytesFromDevice += bytes.size();
+  noteCapture(bytes.size());
   return bytes;
 }
 
 void ConfigPort::writeFullBitstream(const fpga::Bitstream& bs) {
   dev_.writeFullBitstream(bs);
-  ++meter_.writeOps;
-  meter_.bytesToDevice += dev_.layout().totalConfigBytes();
+  noteWrite(dev_.layout().totalConfigBytes());
 }
 
 fpga::Bitstream ConfigPort::readbackFull() {
   auto bs = dev_.readbackBitstream();
-  ++meter_.readOps;
-  meter_.bytesFromDevice += dev_.layout().totalConfigBytes();
+  noteRead(dev_.layout().totalConfigBytes());
   return bs;
 }
 
 void ConfigPort::pulseGsr() {
   dev_.pulseGsr();
-  ++meter_.commandOps;
-  meter_.bytesToDevice += 8;  // control packet
+  noteCommand(8);  // control packet
 }
 
 // ---------------------------------------------------------------------------

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "fpga/device.hpp"
+#include "obs/metrics.hpp"
 
 namespace fades::bits {
 
@@ -69,9 +70,22 @@ struct BoardLink {
   }
 };
 
+// Every meter mutation is mirrored into the process-wide metrics registry
+// (config.bytes_written, config.read_ops, ...), so campaign-scale traffic
+// shows up in metrics snapshots and run artifacts without any extra
+// plumbing. The per-port TransferMeter keeps per-experiment resolution; the
+// registry keeps the process totals.
 class ConfigPort {
  public:
-  explicit ConfigPort(Device& device) : dev_(device) {}
+  explicit ConfigPort(Device& device)
+      : dev_(device),
+        cBytesWritten_(obs::Registry::global().counter("config.bytes_written")),
+        cBytesRead_(obs::Registry::global().counter("config.bytes_read")),
+        cWriteOps_(obs::Registry::global().counter("config.write_ops")),
+        cReadOps_(obs::Registry::global().counter("config.read_ops")),
+        cCaptureOps_(obs::Registry::global().counter("config.capture_ops")),
+        cCommandOps_(obs::Registry::global().counter("config.command_ops")),
+        cSessions_(obs::Registry::global().counter("config.sessions")) {}
 
   Device& device() { return dev_; }
   const TransferMeter& meter() const { return meter_; }
@@ -79,7 +93,10 @@ class ConfigPort {
 
   /// Mark the start of a reconfiguration session (one injector action such
   /// as "inject fault" or "remove fault" is one session).
-  void beginSession() { ++meter_.sessions; }
+  void beginSession() {
+    ++meter_.sessions;
+    cSessions_.inc();
+  }
 
   // --- frame-level transfers --------------------------------------------
   std::vector<std::uint8_t> readLogicFrame(FrameAddr f);
@@ -135,30 +152,51 @@ class ConfigPort {
   // Charge the meter for traffic whose effect is handled elsewhere (e.g. the
   // full-bitstream fallback download of the delay injector, or the modeled
   // re-initialization between experiments when the host replays state).
-  void chargeWrite(std::uint64_t bytes) {
-    ++meter_.writeOps;
-    meter_.bytesToDevice += bytes;
-  }
-  void chargeRead(std::uint64_t bytes) {
-    ++meter_.readOps;
-    meter_.bytesFromDevice += bytes;
-  }
-  void chargeCapture(std::uint64_t bytes) {
-    ++meter_.captureOps;
-    meter_.bytesFromDevice += bytes;
-  }
-  void chargeCommand() {
-    ++meter_.commandOps;
-    meter_.bytesToDevice += 8;
-  }
+  void chargeWrite(std::uint64_t bytes) { noteWrite(bytes); }
+  void chargeRead(std::uint64_t bytes) { noteRead(bytes); }
+  void chargeCapture(std::uint64_t bytes) { noteCapture(bytes); }
+  void chargeCommand() { noteCommand(8); }
   void chargeFullImage() { chargeWrite(dev_.layout().totalConfigBytes()); }
 
  private:
   /// Read-modify-write one plane-A bit through its containing frame.
   void rmwLogicBit(std::size_t addr, bool value);
 
+  // Meter + registry accounting for one operation of each class.
+  void noteWrite(std::uint64_t bytes) {
+    ++meter_.writeOps;
+    meter_.bytesToDevice += bytes;
+    cWriteOps_.inc();
+    cBytesWritten_.add(bytes);
+  }
+  void noteRead(std::uint64_t bytes) {
+    ++meter_.readOps;
+    meter_.bytesFromDevice += bytes;
+    cReadOps_.inc();
+    cBytesRead_.add(bytes);
+  }
+  void noteCapture(std::uint64_t bytes) {
+    ++meter_.captureOps;
+    meter_.bytesFromDevice += bytes;
+    cCaptureOps_.inc();
+    cBytesRead_.add(bytes);
+  }
+  void noteCommand(std::uint64_t bytes) {
+    ++meter_.commandOps;
+    meter_.bytesToDevice += bytes;
+    cCommandOps_.inc();
+    cBytesWritten_.add(bytes);
+  }
+
   Device& dev_;
   TransferMeter meter_;
+  obs::Counter& cBytesWritten_;
+  obs::Counter& cBytesRead_;
+  obs::Counter& cWriteOps_;
+  obs::Counter& cReadOps_;
+  obs::Counter& cCaptureOps_;
+  obs::Counter& cCommandOps_;
+  obs::Counter& cSessions_;
 };
 
 }  // namespace fades::bits

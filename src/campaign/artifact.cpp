@@ -1,0 +1,105 @@
+#include "campaign/artifact.hpp"
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace fades::campaign {
+
+using obs::Json;
+
+Json toJson(const DurationBand& band) {
+  Json j = Json::object();
+  j.set("label", Json(band.label));
+  j.set("min_cycles", Json(band.minCycles));
+  j.set("max_cycles", Json(band.maxCycles));
+  return j;
+}
+
+Json toJson(const CampaignSpec& spec) {
+  Json j = Json::object();
+  j.set("model", Json(std::string(toString(spec.model))));
+  j.set("targets", Json(std::string(toString(spec.targets))));
+  j.set("unit", Json(static_cast<std::int64_t>(spec.unit)));
+  j.set("band", toJson(spec.band));
+  j.set("experiments", Json(static_cast<std::uint64_t>(spec.experiments)));
+  j.set("seed", Json(static_cast<std::uint64_t>(spec.seed)));
+  j.set("target_pool_size",
+        Json(static_cast<std::uint64_t>(spec.targetPool.size())));
+  return j;
+}
+
+Json toJson(const ExperimentRecord& record) {
+  Json j = Json::object();
+  j.set("target", Json(record.targetName));
+  j.set("inject_cycle", Json(record.injectCycle));
+  j.set("duration_cycles", Json(record.durationCycles));
+  j.set("outcome", Json(std::string(toString(record.outcome))));
+  j.set("modeled_seconds", Json(record.modeledSeconds));
+  return j;
+}
+
+Json toJson(const CostBreakdown& cost) {
+  Json j = Json::object();
+  j.set("config_seconds", Json(cost.configSeconds));
+  j.set("workload_seconds", Json(cost.workloadSeconds));
+  j.set("host_seconds", Json(cost.hostSeconds));
+  j.set("total_seconds", Json(cost.totalSeconds()));
+  j.set("bytes_to_device", Json(cost.bytesToDevice));
+  j.set("bytes_from_device", Json(cost.bytesFromDevice));
+  j.set("sessions", Json(cost.sessions));
+  return j;
+}
+
+namespace {
+
+// Everything about a result except the per-experiment records, which the
+// JSONL form carries as individual rows.
+Json summaryJson(const CampaignResult& result) {
+  Json j = Json::object();
+  j.set("spec", toJson(result.spec));
+  Json outcomes = Json::object();
+  outcomes.set("failures", Json(static_cast<std::uint64_t>(result.failures)));
+  outcomes.set("latents", Json(static_cast<std::uint64_t>(result.latents)));
+  outcomes.set("silents", Json(static_cast<std::uint64_t>(result.silents)));
+  outcomes.set("failure_pct", Json(result.failurePct()));
+  outcomes.set("latent_pct", Json(result.latentPct()));
+  outcomes.set("silent_pct", Json(result.silentPct()));
+  j.set("outcomes", outcomes);
+  Json seconds = Json::object();
+  seconds.set("count",
+              Json(static_cast<std::uint64_t>(result.modeledSeconds.count())));
+  seconds.set("mean", Json(result.modeledSeconds.mean()));
+  seconds.set("min", Json(result.modeledSeconds.min()));
+  seconds.set("max", Json(result.modeledSeconds.max()));
+  seconds.set("stddev", Json(result.modeledSeconds.stddev()));
+  seconds.set("sum", Json(result.modeledSeconds.sum()));
+  j.set("modeled_seconds", seconds);
+  j.set("cost", toJson(result.cost));
+  return j;
+}
+
+}  // namespace
+
+Json toJson(const CampaignResult& result) {
+  Json j = summaryJson(result);
+  if (!result.records.empty()) {
+    Json records = Json::array();
+    for (const auto& r : result.records) records.push(toJson(r));
+    j.set("records", records);
+  }
+  return j;
+}
+
+obs::RunArtifact toRunArtifact(const CampaignResult& result,
+                               const std::string& name) {
+  obs::RunArtifact artifact("campaign", name);
+  artifact.setSpec(toJson(result.spec));
+  for (const auto& r : result.records) artifact.addRecord(toJson(r));
+  artifact.setSection("summary", summaryJson(result));
+  artifact.setCost(toJson(result.cost));
+  artifact.setMetrics(obs::Registry::global().snapshotJson());
+  return artifact;
+}
+
+}  // namespace fades::campaign

@@ -1,0 +1,27 @@
+// Campaign <-> observability bridge: serialize campaign specs, results and
+// per-experiment records into the obs JSON model, and package a whole
+// campaign as a versioned RunArtifact for offline analysis.
+#pragma once
+
+#include <string>
+
+#include "campaign/types.hpp"
+#include "obs/artifact.hpp"
+#include "obs/json.hpp"
+
+namespace fades::campaign {
+
+obs::Json toJson(const DurationBand& band);
+obs::Json toJson(const CampaignSpec& spec);
+obs::Json toJson(const ExperimentRecord& record);
+obs::Json toJson(const CostBreakdown& cost);
+/// Full result: spec, outcome tallies/percentages, modeled-seconds summary,
+/// cost decomposition and (when kept) per-experiment records.
+obs::Json toJson(const CampaignResult& result);
+
+/// Package one campaign as a `fades.run/1` artifact named `name`, with the
+/// current global metrics snapshot attached.
+obs::RunArtifact toRunArtifact(const CampaignResult& result,
+                               const std::string& name);
+
+}  // namespace fades::campaign

@@ -87,12 +87,32 @@ struct ExperimentRecord {
   double modeledSeconds = 0;
 };
 
+/// Modeled cost decomposition of a whole campaign - where the emulation
+/// time went (the split behind the paper's Figure 10 / Table 2 numbers).
+/// Field meaning per tool: for FADES `configSeconds` is host<->board
+/// reconfiguration traffic and `workloadSeconds` is execution at the FPGA
+/// clock; for VFIT `configSeconds` is simulator-command scripting and
+/// `workloadSeconds` is host-CPU simulation of the model.
+struct CostBreakdown {
+  double configSeconds = 0;    // injection / reconfiguration mechanism
+  double workloadSeconds = 0;  // running the workload itself
+  double hostSeconds = 0;      // fixed per-experiment host bookkeeping
+  std::uint64_t bytesToDevice = 0;
+  std::uint64_t bytesFromDevice = 0;
+  std::uint64_t sessions = 0;
+
+  double totalSeconds() const {
+    return configSeconds + workloadSeconds + hostSeconds;
+  }
+};
+
 struct CampaignResult {
   CampaignSpec spec;
   std::size_t failures = 0;
   std::size_t latents = 0;
   std::size_t silents = 0;
   common::RunningStats modeledSeconds;  // per experiment
+  CostBreakdown cost;  // campaign-total decomposition of modeledSeconds
   std::vector<ExperimentRecord> records;  // filled when spec asks for detail
 
   std::size_t total() const { return failures + latents + silents; }

@@ -19,7 +19,9 @@ class RunningStats {
   double max() const { return n_ == 0 ? 0.0 : max_; }
   double variance() const;  // sample variance
   double stddev() const;
-  double sum() const { return n_ == 0 ? 0.0 : mean_ * static_cast<double>(n_); }
+  /// Accumulated directly rather than reconstructed as mean*n, so campaign
+  /// totals don't compound Welford rounding across thousands of samples.
+  double sum() const { return sum_; }
 
  private:
   std::size_t n_ = 0;
@@ -27,6 +29,7 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  double sum_ = 0.0;
 };
 
 /// Percentage with guard against empty denominators.

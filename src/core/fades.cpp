@@ -5,7 +5,10 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "common/stats.hpp"
 #include "core/lut_circuit.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "synth/fabric.hpp"
 
 namespace fades::core {
@@ -25,7 +28,17 @@ FadesTool::FadesTool(fpga::Device& device, const synth::Implementation& impl,
       runCycles_(runCycles),
       opt_(std::move(options)),
       port_(device),
-      system_(device, impl) {
+      system_(device, impl),
+      ctrFailures_(obs::Registry::global().counter(
+          "campaign.experiments{outcome=failure}")),
+      ctrLatents_(obs::Registry::global().counter(
+          "campaign.experiments{outcome=latent}")),
+      ctrSilents_(obs::Registry::global().counter(
+          "campaign.experiments{outcome=silent}")),
+      modeledSecondsHist_(obs::Registry::global().histogram(
+          "experiment.modeled_seconds",
+          {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0})) {
+  obs::Span setupSpan{"setup", {{"device", dev_.spec().name}}};
   // One-time download of the configuration file (Figure 1).
   port_.writeFullBitstream(impl_.bitstream);
   setupSeconds_ = opt_.link.seconds(port_.meter());
@@ -663,11 +676,14 @@ Outcome FadesTool::runExperiment(FaultModel model, TargetClass cls,
   port_.resetMeter();
   chargeExperimentBaseline();
 
-  // Host-side replay from the nearest checkpoint (the modeled flow runs the
-  // workload from reset; its duration is charged via fpgaClockHz below).
-  std::uint64_t ckCycle = 0;
-  dev_.restoreState(checkpointAtOrBefore(injectCycle, ckCycle));
-  for (std::uint64_t c = ckCycle; c < injectCycle; ++c) dev_.step();
+  {
+    // Host-side replay from the nearest checkpoint (the modeled flow runs the
+    // workload from reset; its duration is charged via fpgaClockHz below).
+    obs::Span locateSpan{"locate", {{"target", std::to_string(target)}}};
+    std::uint64_t ckCycle = 0;
+    dev_.restoreState(checkpointAtOrBefore(injectCycle, ckCycle));
+    for (std::uint64_t c = ckCycle; c < injectCycle; ++c) dev_.step();
+  }
 
   // Sub-cycle faults overlap a sampling edge with probability = duration.
   std::uint64_t effectiveCycles;
@@ -694,43 +710,60 @@ Outcome FadesTool::runExperiment(FaultModel model, TargetClass cls,
   fault.cls = cls;
   fault.target = target;
   fault.subCycle = durationCycles < 1.0;
-  inject(fault, rng, durationCycles);
+  {
+    obs::Span injectSpan{"inject", {{"model", campaign::toString(model)}}};
+    inject(fault, rng, durationCycles);
+  }
 
   if (model == FaultModel::BitFlip) {
     // Transient in cause, persistent in effect: nothing to remove.
   } else if (effectiveCycles == 0) {
     // Sub-cycle fault missing every edge: inject + remove back-to-back
     // within the same reconfiguration pass where the mechanism allows.
+    obs::Span removeSpan{"remove"};
     remove(fault);
   } else {
-    for (std::uint64_t k = 0;
-         k < effectiveCycles && dev_.cycle() < runCycles_; ++k) {
-      if (k > 0 && opt_.oscillatingIndetermination) oscillate(fault, rng);
-      stepObserved();
+    {
+      obs::Span emulateSpan{
+          "emulate", {{"cycles", std::to_string(effectiveCycles)}}};
+      for (std::uint64_t k = 0;
+           k < effectiveCycles && dev_.cycle() < runCycles_; ++k) {
+        if (k > 0 && opt_.oscillatingIndetermination) oscillate(fault, rng);
+        stepObserved();
+      }
     }
+    obs::Span removeSpan{"remove"};
     remove(fault);
   }
-
-  // Observe to the end of the workload; once the trace has diverged the
-  // outcome is already Failure and the remaining observation is charged
-  // without being executed.
-  while (!diverged && dev_.cycle() < runCycles_) stepObserved();
 
   Outcome outcome;
-  if (diverged) {
-    captureFinalStateViaPort(faulty, /*chargeOnly=*/true);
-    outcome = Outcome::Failure;
-  } else {
-    faulty.outputs.resize(runCycles_);
-    captureFinalStateViaPort(faulty, /*chargeOnly=*/false);
-    outcome = campaign::classify(golden_, faulty);
+  {
+    // Observe to the end of the workload; once the trace has diverged the
+    // outcome is already Failure and the remaining observation is charged
+    // without being executed.
+    obs::Span observeSpan{"observe"};
+    while (!diverged && dev_.cycle() < runCycles_) stepObserved();
+
+    if (diverged) {
+      captureFinalStateViaPort(faulty, /*chargeOnly=*/true);
+      outcome = Outcome::Failure;
+    } else {
+      faulty.outputs.resize(runCycles_);
+      captureFinalStateViaPort(faulty, /*chargeOnly=*/false);
+      outcome = campaign::classify(golden_, faulty);
+    }
   }
 
-  if (modeledSeconds != nullptr) {
-    *modeledSeconds = meterSeconds() +
-                      static_cast<double>(runCycles_) / opt_.fpgaClockHz +
-                      opt_.hostPerExperimentSeconds;
+  const double seconds = meterSeconds() +
+                         static_cast<double>(runCycles_) / opt_.fpgaClockHz +
+                         opt_.hostPerExperimentSeconds;
+  modeledSecondsHist_.observe(seconds);
+  switch (outcome) {
+    case Outcome::Failure: ctrFailures_.inc(); break;
+    case Outcome::Latent: ctrLatents_.inc(); break;
+    case Outcome::Silent: ctrSilents_.inc(); break;
   }
+  if (modeledSeconds != nullptr) *modeledSeconds = seconds;
   if (meterOut != nullptr) *meterOut = port_.meter();
   return outcome;
 }
@@ -740,9 +773,14 @@ CampaignResult FadesTool::runCampaign(const CampaignSpec& spec) {
   result.spec = spec;
   Rng rng(spec.seed);
   const auto unit = static_cast<Unit>(spec.unit);
+  obs::Span campaignSpan{"campaign",
+                         {{"model", campaign::toString(spec.model)},
+                          {"targets", campaign::toString(spec.targets)}}};
   const auto pool = spec.targetPool.empty()
                         ? targets(spec.model, spec.targets, unit)
                         : spec.targetPool;
+  obs::Gauge& progress = obs::Registry::global().gauge("campaign.progress_pct");
+  progress.set(0.0);
 
   for (unsigned e = 0; e < spec.experiments; ++e) {
     // A handful of sites cannot host certain faults (e.g. a net with no
@@ -756,11 +794,19 @@ CampaignResult FadesTool::runCampaign(const CampaignSpec& spec) {
           spec.band.minCycles +
           erng.uniform01() * (spec.band.maxCycles - spec.band.minCycles);
       double seconds = 0;
+      bits::TransferMeter meter;
       try {
         const Outcome o = runExperiment(spec.model, spec.targets, target,
                                         injectCycle, duration, erng,
-                                        &seconds);
+                                        &seconds, &meter);
         result.add(o, seconds);
+        result.cost.configSeconds += opt_.link.seconds(meter);
+        result.cost.workloadSeconds +=
+            static_cast<double>(runCycles_) / opt_.fpgaClockHz;
+        result.cost.hostSeconds += opt_.hostPerExperimentSeconds;
+        result.cost.bytesToDevice += meter.bytesToDevice;
+        result.cost.bytesFromDevice += meter.bytesFromDevice;
+        result.cost.sessions += meter.sessions;
         if (opt_.keepRecords) {
           result.records.push_back(campaign::ExperimentRecord{
               targetName(spec.targets, target), injectCycle, duration, o,
@@ -773,6 +819,18 @@ CampaignResult FadesTool::runCampaign(const CampaignSpec& spec) {
           throw;
         }
       }
+    }
+    if (opt_.progressInterval != 0 &&
+        ((e + 1) % opt_.progressInterval == 0 || e + 1 == spec.experiments)) {
+      progress.set(100.0 * (e + 1) / spec.experiments);
+      FADES_LOG(Info) << "campaign progress"
+                      << obs::kv("model", campaign::toString(spec.model))
+                      << obs::kv("done", e + 1)
+                      << obs::kv("total", spec.experiments)
+                      << obs::kv("failures", result.failures)
+                      << obs::kv("latents", result.latents)
+                      << obs::kv("silents", result.silents)
+                      << obs::kv("modeled_s", result.modeledSeconds.sum());
     }
   }
   return result;
@@ -839,11 +897,16 @@ Outcome FadesTool::runMultipleBitFlipExperiment(
     captureFinalStateViaPort(faulty, /*chargeOnly=*/false);
     outcome = campaign::classify(golden_, faulty);
   }
-  if (modeledSeconds != nullptr) {
-    *modeledSeconds = meterSeconds() +
-                      static_cast<double>(runCycles_) / opt_.fpgaClockHz +
-                      opt_.hostPerExperimentSeconds;
+  const double seconds = meterSeconds() +
+                         static_cast<double>(runCycles_) / opt_.fpgaClockHz +
+                         opt_.hostPerExperimentSeconds;
+  modeledSecondsHist_.observe(seconds);
+  switch (outcome) {
+    case Outcome::Failure: ctrFailures_.inc(); break;
+    case Outcome::Latent: ctrLatents_.inc(); break;
+    case Outcome::Silent: ctrSilents_.inc(); break;
   }
+  if (modeledSeconds != nullptr) *modeledSeconds = seconds;
   return outcome;
 }
 

@@ -30,6 +30,7 @@
 #include "bits/config_port.hpp"
 #include "campaign/types.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "synth/implement.hpp"
 
 namespace fades::core {
@@ -73,6 +74,9 @@ struct FadesOptions {
   std::vector<std::string> observedOutputs{"p0", "p1"};
   unsigned checkpointInterval = 128;
   bool keepRecords = false;
+  /// Campaign progress heartbeat (structured INFO log + campaign.progress_pct
+  /// gauge) every N experiments; 0 disables it.
+  unsigned progressInterval = 100;
 };
 
 /// Register-level effect of a fault, for the paper's Table 4 (one pulse in
@@ -180,6 +184,13 @@ class FadesTool {
   std::vector<unsigned> usedBramBlocks_;
   std::unordered_set<std::uint32_t> usedNodes_;  // routing nodes in use
   std::uint64_t fullStateReadBytes_ = 0;         // per final-state readback
+
+  // Registry instruments, resolved once so the per-experiment updates are
+  // plain relaxed atomic adds.
+  obs::Counter& ctrFailures_;
+  obs::Counter& ctrLatents_;
+  obs::Counter& ctrSilents_;
+  obs::Histogram& modeledSecondsHist_;
 };
 
 }  // namespace fades::core

@@ -1,0 +1,136 @@
+#include "obs/log.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+namespace fades::obs {
+
+const char* toString(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parseLogLevel(std::string_view text, LogLevel fallback) {
+  std::string lower;
+  for (char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return fallback;
+}
+
+namespace {
+
+/// Quote and escape a field value when needed to keep `key=value` tokens
+/// unambiguous: values with spaces, quotes, '=' or control characters are
+/// wrapped in double quotes with backslash escapes.
+std::string renderFieldValue(const std::string& value) {
+  bool needsQuotes = value.empty();
+  for (unsigned char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c < 0x20) {
+      needsQuotes = true;
+      break;
+    }
+  }
+  if (!needsQuotes) return value;
+  std::string out = "\"";
+  for (unsigned char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += static_cast<char>(c);
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string timestamp(std::uint64_t wallMicros) {
+  const std::time_t secs = static_cast<std::time_t>(wallMicros / 1000000);
+  const unsigned millis = static_cast<unsigned>((wallMicros / 1000) % 1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03uZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, millis);
+  return buf;
+}
+
+}  // namespace
+
+std::string Logger::format(const LogRecord& record) {
+  std::string out = timestamp(record.wallMicros);
+  out += ' ';
+  out += toString(record.level);
+  out += ' ';
+  out += record.message;
+  for (const auto& f : record.fields) {
+    out += ' ';
+    out += f.key;
+    out += '=';
+    out += renderFieldValue(f.value);
+  }
+  return out;
+}
+
+Logger::Logger() {
+  if (const char* v = std::getenv("FADES_LOG")) {
+    setThreshold(parseLogLevel(v, LogLevel::Info));
+  }
+  if (const char* v = std::getenv("FADES_LOG_FILE")) {
+    filePath_ = v;
+  }
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::setSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogRecord record) {
+  if (!enabled(record.level)) return;
+  record.wallMicros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) {
+    sink_(record);
+    return;
+  }
+  const std::string line = format(record) + "\n";
+  if (!filePath_.empty()) {
+    if (std::FILE* f = std::fopen(filePath_.c_str(), "ab")) {
+      std::fwrite(line.data(), 1, line.size(), f);
+      std::fclose(f);
+      return;
+    }
+  }
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace fades::obs

@@ -1,0 +1,139 @@
+// Leveled structured logger for campaign-scale runs.
+//
+// Usage:
+//   FADES_LOG(Info) << "campaign progress"
+//                   << obs::kv("done", 128) << obs::kv("total", 3000);
+//
+// emits one line per record to the configured sink (stderr by default):
+//   2026-08-05T10:15:02.123Z INFO campaign progress done=128 total=3000
+//
+// The free-text part of the stream becomes the message; kv() fields are
+// appended as key=value pairs, quoted and escaped when the value contains
+// spaces, quotes or '=' so lines stay machine-parseable. Environment:
+//   FADES_LOG      trace|debug|info|warn|error|off  (threshold, default info)
+//   FADES_LOG_FILE append formatted records to this path instead of stderr
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fades::obs {
+
+enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+const char* toString(LogLevel level);
+LogLevel parseLogLevel(std::string_view text, LogLevel fallback);
+
+struct LogField {
+  std::string key;
+  std::string value;
+};
+
+/// Build a structured field from any streamable value.
+template <typename T>
+LogField kv(std::string key, const T& value) {
+  if constexpr (std::is_same_v<T, bool>) {
+    return {std::move(key), value ? "true" : "false"};
+  } else if constexpr (std::is_convertible_v<const T&, std::string>) {
+    return {std::move(key), std::string(value)};
+  } else {
+    std::ostringstream os;
+    os << value;
+    return {std::move(key), os.str()};
+  }
+}
+
+struct LogRecord {
+  LogLevel level = LogLevel::Info;
+  std::string message;
+  std::vector<LogField> fields;
+  std::uint64_t wallMicros = 0;  // microseconds since the Unix epoch
+  const char* file = "";
+  int line = 0;
+};
+
+class Logger {
+ public:
+  /// Process-wide logger; threshold and sink seeded from the environment on
+  /// first use.
+  static Logger& global();
+
+  LogLevel threshold() const {
+    return static_cast<LogLevel>(threshold_.load(std::memory_order_relaxed));
+  }
+  void setThreshold(LogLevel level) {
+    threshold_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  bool enabled(LogLevel level) const { return level >= threshold(); }
+
+  using Sink = std::function<void(const LogRecord&)>;
+  /// Replace the output sink; an empty function restores the default
+  /// (formatted lines to stderr, or FADES_LOG_FILE when set).
+  void setSink(Sink sink);
+
+  void log(LogRecord record);
+
+  /// The canonical single-line rendering (timestamp, level, message,
+  /// key=value fields with escaping).
+  static std::string format(const LogRecord& record);
+
+ private:
+  Logger();
+
+  std::atomic<int> threshold_{static_cast<int>(LogLevel::Info)};
+  std::mutex mu_;  // serializes sink invocations
+  Sink sink_;
+  std::string filePath_;  // from FADES_LOG_FILE; empty = stderr
+};
+
+/// Temporary stream that assembles one LogRecord and submits it on
+/// destruction (end of the full expression).
+class LogStream {
+ public:
+  LogStream(Logger& logger, LogLevel level, const char* file, int line)
+      : logger_(logger) {
+    record_.level = level;
+    record_.file = file;
+    record_.line = line;
+  }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() {
+    record_.message = message_.str();
+    logger_.log(std::move(record_));
+  }
+
+  LogStream& operator<<(LogField field) {
+    record_.fields.push_back(std::move(field));
+    return *this;
+  }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    message_ << value;
+    return *this;
+  }
+
+ private:
+  Logger& logger_;
+  LogRecord record_;
+  std::ostringstream message_;
+};
+
+}  // namespace fades::obs
+
+/// Leveled logging entry point; the stream is evaluated only when the level
+/// clears the threshold.
+#define FADES_LOG(levelName)                                          \
+  if (!::fades::obs::Logger::global().enabled(                        \
+          ::fades::obs::LogLevel::levelName))                         \
+    ;                                                                 \
+  else                                                                \
+    ::fades::obs::LogStream(::fades::obs::Logger::global(),           \
+                            ::fades::obs::LogLevel::levelName,        \
+                            __FILE__, __LINE__)

@@ -1,0 +1,109 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms, snapshotable to JSON.
+//
+// Instruments are created once through the registry and then updated
+// lock-free (relaxed atomics), so hot paths - configuration-port traffic,
+// simulator event loops - pay one atomic add per update. Label sets ride in
+// the instrument name, Prometheus-style: "campaign.experiments{outcome=failure}".
+// References returned by the registry stay valid for the registry's
+// lifetime; reset() zeroes values without invalidating them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace fades::obs {
+
+class Counter {
+ public:
+  void inc() noexcept { add(1); }
+  void add(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with `le` (less-or-equal) bucket semantics: an
+/// observation lands in the first bucket whose upper bound is >= the value;
+/// values above the last bound go to the implicit overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upperBounds);
+
+  void observe(double value) noexcept;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; one entry per bound plus the trailing overflow.
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;  // ascending
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class Registry {
+ public:
+  /// The process-wide registry every instrumented subsystem reports into.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create; the returned reference is stable for the registry's
+  /// lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Bounds apply on first creation; later calls return the existing
+  /// instrument unchanged.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upperBounds);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with names
+  /// sorted for stable output.
+  Json snapshotJson() const;
+
+  /// Zero every instrument, keeping identities (cached references remain
+  /// valid) - used between benchmark sections and in tests.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not the instrument values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace fades::obs

@@ -1,0 +1,94 @@
+// RAII wall-clock trace spans with Chrome trace_event export.
+//
+//   { obs::Span s{"inject", {{"model", "pulse"}}}; ... }
+//
+// records one complete ("ph":"X") event into a bounded ring buffer; the
+// buffer serializes to the Chrome trace-event JSON format, so a campaign's
+// timeline can be opened directly in chrome://tracing or Perfetto. Tracing
+// is on by default (two clock reads plus one mutexed ring-buffer store per
+// span); FADES_TRACE=0 disables it process-wide.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace fades::obs {
+
+struct SpanArg {
+  std::string key;
+  std::string value;
+};
+
+struct SpanRecord {
+  std::string name;
+  std::uint64_t beginMicros = 0;  // since process start (steady clock)
+  std::uint64_t durMicros = 0;
+  std::uint32_t tid = 0;
+  std::vector<SpanArg> args;
+};
+
+class TraceBuffer {
+ public:
+  /// Process-wide buffer; enabled unless FADES_TRACE=0.
+  static TraceBuffer& global();
+
+  explicit TraceBuffer(std::size_t capacity = 65536);
+
+  bool enabled() const { return enabled_; }
+  void setEnabled(bool on) { enabled_ = on; }
+
+  void record(SpanRecord record);
+
+  std::size_t size() const;
+  /// Events recorded but evicted by the ring buffer.
+  std::uint64_t dropped() const;
+  void clear();
+
+  /// Buffered spans, oldest first.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} - the Chrome
+  /// trace-event JSON object format.
+  Json chromeTraceJson() const;
+
+  /// Microseconds since process start on the span clock (steady).
+  static std::uint64_t nowMicros();
+
+ private:
+  bool enabled_ = true;
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_ = 0;     // ring insertion cursor once full
+  std::uint64_t total_ = 0;  // records ever seen
+};
+
+/// RAII span: construction stamps the begin time, destruction records the
+/// completed event. Cheap no-op while tracing is disabled.
+class Span {
+ public:
+  explicit Span(std::string name,
+                std::initializer_list<std::pair<std::string, std::string>>
+                    args = {},
+                TraceBuffer& buffer = TraceBuffer::global());
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  /// Attach or update an argument after construction.
+  void setArg(const std::string& key, std::string value);
+
+ private:
+  TraceBuffer& buffer_;
+  SpanRecord record_;
+  bool active_ = false;
+};
+
+}  // namespace fades::obs

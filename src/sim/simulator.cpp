@@ -12,7 +12,10 @@ using common::require;
 using netlist::GateOp;
 using netlist::arity;
 
-Simulator::Simulator(const Netlist& netlist) : nl_(netlist) {
+Simulator::Simulator(const Netlist& netlist)
+    : nl_(netlist),
+      eventsCounter_(obs::Registry::global().counter("sim.events")),
+      stepsCounter_(obs::Registry::global().counter("sim.steps")) {
   values_.assign(nl_.netCount(), 0);
   flopState_.assign(nl_.flopCount(), 0);
   forced_.assign(nl_.netCount(), 0);
@@ -193,6 +196,10 @@ void Simulator::step() {
 
   ++cycle_;
   settle();
+
+  stepsCounter_.inc();
+  eventsCounter_.add(events_ - eventsFlushed_);
+  eventsFlushed_ = events_;
 }
 
 void Simulator::run(std::uint64_t cycles) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "obs/metrics.hpp"
 
 namespace fades::sim {
 
@@ -108,6 +109,12 @@ class Simulator {
 
   std::uint64_t cycle_ = 0;
   std::uint64_t events_ = 0;
+  // Registry mirrors (sim.events / sim.steps): the event count is flushed
+  // as a delta once per step so the gate-evaluation inner loop stays free
+  // of atomics.
+  std::uint64_t eventsFlushed_ = 0;
+  obs::Counter& eventsCounter_;
+  obs::Counter& stepsCounter_;
 };
 
 }  // namespace fades::sim

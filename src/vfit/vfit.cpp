@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fades::vfit {
 
@@ -101,7 +104,8 @@ Outcome VfitTool::runExperiment(FaultModel model, TargetClass targets,
                                 std::uint32_t targetIndex,
                                 std::uint64_t injectCycle,
                                 double durationCycles, Rng& rng,
-                                double* modeledSeconds) {
+                                double* modeledSeconds,
+                                unsigned* commandsOut) {
   require(supports(model), ErrorKind::InjectionError,
           "VFIT cannot inject delay faults (no generic delay clauses)");
   require(injectCycle < runCycles_, ErrorKind::InvalidArgument,
@@ -201,10 +205,15 @@ Outcome VfitTool::runExperiment(FaultModel model, TargetClass targets,
   while (sim_->cycle() < runCycles_) stepObserved();
   captureFinalState(faulty);
 
+  auto& registry = obs::Registry::global();
+  registry.counter("vfit.commands").add(commands);
+  registry.counter("vfit.experiments").inc();
+
   if (modeledSeconds != nullptr) {
     *modeledSeconds = opt_.secondsFixedPerExperiment + goldenSeconds_ +
                       commands * opt_.secondsPerCommand;
   }
+  if (commandsOut != nullptr) *commandsOut = commands;
   return campaign::classify(golden_, faulty);
 }
 
@@ -249,6 +258,9 @@ CampaignResult VfitTool::runCampaign(const CampaignSpec& spec) {
   require(!targets.empty(), ErrorKind::InjectionError,
           "no VFIT targets in the selected unit");
 
+  obs::Span campaignSpan{"vfit.campaign",
+                         {{"model", campaign::toString(spec.model)},
+                          {"targets", campaign::toString(spec.targets)}}};
   for (unsigned e = 0; e < spec.experiments; ++e) {
     // Same stream derivation as the FADES campaign loop so that identical
     // specs over identical pools draw identical faults in both tools.
@@ -259,12 +271,23 @@ CampaignResult VfitTool::runCampaign(const CampaignSpec& spec) {
         spec.band.minCycles +
         erng.uniform01() * (spec.band.maxCycles - spec.band.minCycles);
     double seconds = 0;
+    unsigned commands = 0;
     const Outcome o = runExperiment(spec.model, spec.targets, target,
-                                    injectCycle, duration, erng, &seconds);
+                                    injectCycle, duration, erng, &seconds,
+                                    &commands);
     result.add(o, seconds);
+    result.cost.configSeconds += commands * opt_.secondsPerCommand;
+    result.cost.workloadSeconds += goldenSeconds_;
+    result.cost.hostSeconds += opt_.secondsFixedPerExperiment;
     if (opt_.keepRecords) {
       result.records.push_back(campaign::ExperimentRecord{
           std::to_string(target), injectCycle, duration, o, seconds});
+    }
+    if ((e + 1) % 100 == 0 || e + 1 == spec.experiments) {
+      FADES_LOG(Debug) << "vfit campaign progress"
+                       << obs::kv("done", e + 1)
+                       << obs::kv("total", spec.experiments)
+                       << obs::kv("failures", result.failures);
     }
   }
   return result;

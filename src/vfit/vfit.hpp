@@ -73,11 +73,13 @@ class VfitTool {
 
   CampaignResult runCampaign(const CampaignSpec& spec);
 
-  /// Single experiment; exposed for tests.
+  /// Single experiment; exposed for tests. `commandsOut` reports how many
+  /// simulator commands (force / release / deposit) the injection issued.
   Outcome runExperiment(FaultModel model, TargetClass targets,
                         std::uint32_t targetIndex, std::uint64_t injectCycle,
                         double durationCycles, common::Rng& rng,
-                        double* modeledSeconds = nullptr);
+                        double* modeledSeconds = nullptr,
+                        unsigned* commandsOut = nullptr);
 
   const Observation& golden() const { return golden_; }
   double goldenModelSeconds() const { return goldenSeconds_; }

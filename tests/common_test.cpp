@@ -199,6 +199,20 @@ TEST(Stats, RunningStatsBasics) {
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
 }
 
+TEST(Stats, SumAccumulatesDirectly) {
+  RunningStats s;
+  double expect = 0.0;
+  for (int i = 0; i < 60000; ++i) {
+    const double x = 0.125 * ((i % 3) + 1);  // exact binary fractions
+    s.add(x);
+    expect += x;
+  }
+  // Exact equality: the sum is accumulated directly, not reconstructed as
+  // mean * n, which would compound Welford rounding over the campaign.
+  EXPECT_EQ(s.sum(), expect);
+  EXPECT_EQ(s.sum(), 15000.0);  // 20000 triples of 0.125 + 0.25 + 0.375
+}
+
 TEST(Stats, EmptyStatsAreZero) {
   RunningStats s;
   EXPECT_EQ(s.count(), 0u);

@@ -43,6 +43,20 @@ TEST(Report, CsvQuotesCommasInLabels) {
   EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
 }
 
+TEST(Report, CsvQuotesQuotesInLabels) {
+  // RFC 4180: embedded quotes force quoting and are doubled.
+  const auto csv = toCsv({{"the \"fast\" path", sampleResult()}});
+  EXPECT_NE(csv.find("\"the \"\"fast\"\" path\""), std::string::npos);
+}
+
+TEST(Report, RecordsCsvQuotesCommasAndQuotes) {
+  auto r = sampleResult();
+  r.records.push_back(ExperimentRecord{"line \"q\", comma", 3, 2.0,
+                                       Outcome::Latent, 0.11});
+  const auto csv = recordsToCsv(r);
+  EXPECT_NE(csv.find("\"line \"\"q\"\", comma\",3,"), std::string::npos);
+}
+
 TEST(Report, RecordsCsvListsEveryExperiment) {
   const auto csv = recordsToCsv(sampleResult());
   EXPECT_NE(csv.find("lut:alu_result[3],120,4.500,failure,0.250000"),
