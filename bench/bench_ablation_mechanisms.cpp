@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     cs.band = DurationBand::longBand();
     cs.experiments = n;
     cs.seed = 31;
-    return tool.runCampaign(cs);
+    return bench::runCampaign(tool, cs);
   };
   const auto fan = delayCampaign(core::DelayVia::Fanout);
   const auto reroute = delayCampaign(core::DelayVia::Reroute);
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
     cs.band = DurationBand::longBand();
     cs.experiments = n;
     cs.seed = 33;
-    return tool.runCampaign(cs);
+    return bench::runCampaign(tool, cs);
   };
   const auto fixed = indetCampaign(false);
   const auto osc = indetCampaign(true);

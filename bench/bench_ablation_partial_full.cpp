@@ -23,7 +23,7 @@ campaign::CampaignResult run(core::FadesTool& tool, unsigned n) {
   spec.band = DurationBand::shortBand();
   spec.experiments = n;
   spec.seed = 21;
-  return tool.runCampaign(spec);
+  return bench::runCampaign(tool, spec);
 }
 
 }  // namespace

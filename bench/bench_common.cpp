@@ -7,6 +7,7 @@
 #include <map>
 
 #include "campaign/artifact.hpp"
+#include "campaign/parallel.hpp"
 #include "common/stats.hpp"
 #include "obs/artifact.hpp"
 #include "obs/log.hpp"
@@ -27,6 +28,11 @@ unsigned envCount(const char* name, unsigned defaultCount) {
 
 BenchRun* gActiveRun = nullptr;
 
+/// --jobs from the command line; -1 = not given (fall back to FADES_JOBS,
+/// then serial). A given 0 is legitimate: the parallel runner maps it to
+/// one worker per hardware thread.
+int gJobsArg = -1;
+
 }  // namespace
 
 BenchRun::BenchRun(std::string name, int argc, char** argv)
@@ -38,6 +44,8 @@ BenchRun::BenchRun(std::string name, int argc, char** argv)
       } else {
         jsonPath_ = "BENCH_" + name_ + ".json";
       }
+    } else if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
+      gJobsArg = static_cast<int>(std::strtol(argv[i + 1], nullptr, 10));
     }
   }
   gActiveRun = this;
@@ -119,6 +127,71 @@ unsigned classifyCount(unsigned defaultCount) {
 unsigned timingCount(unsigned defaultCount) {
   const unsigned n = envCount("FADES_FAULTS", defaultCount);
   return n < defaultCount ? n : defaultCount;
+}
+
+unsigned jobs() {
+  if (gJobsArg >= 0) return static_cast<unsigned>(gJobsArg);
+  if (const char* v = std::getenv("FADES_JOBS")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n >= 0) return static_cast<unsigned>(n);
+  }
+  return 1;
+}
+
+namespace {
+
+// Everything a replica's behavior depends on, so a recycled tool address
+// (some benches build short-lived tools on the stack) never reuses a runner
+// configured for a different tool.
+std::string toolFingerprint(core::FadesTool& tool) {
+  const auto& o = tool.options();
+  const auto& spec = tool.device().spec();
+  std::string fp = spec.name + "/" + std::to_string(spec.clockPeriodNs) +
+                   "/" + std::to_string(tool.runCycles()) + "/" +
+                   std::to_string(static_cast<int>(o.bitFlipVia)) +
+                   std::to_string(static_cast<int>(o.delayVia)) +
+                   std::to_string(o.fullDownloadForDelay) +
+                   std::to_string(o.oscillatingIndetermination) +
+                   std::to_string(o.keepRecords) + "/" +
+                   std::to_string(o.fpgaClockHz) + "/" +
+                   std::to_string(o.hostPerExperimentSeconds) + "/" +
+                   std::to_string(o.checkpointInterval);
+  for (const auto& out : o.observedOutputs) fp += "," + out;
+  return fp;
+}
+
+struct CachedRunner {
+  const synth::Implementation* impl = nullptr;
+  std::string fingerprint;
+  std::unique_ptr<campaign::ParallelCampaignRunner> runner;
+};
+
+// One runner per tool: replicas are expensive (each pays the bitstream
+// download and golden run), so band sweeps and repeat campaigns over the
+// same tool reuse them.
+std::map<const core::FadesTool*, CachedRunner> gRunners;
+
+}  // namespace
+
+campaign::CampaignResult runCampaign(core::FadesTool& tool,
+                                     const campaign::CampaignSpec& spec) {
+  const unsigned n = jobs();
+  if (n == 1) return tool.runCampaign(spec);
+  auto& cached = gRunners[&tool];
+  const std::string fp = toolFingerprint(tool);
+  if (!cached.runner || cached.impl != &tool.implementation() ||
+      cached.fingerprint != fp) {
+    campaign::ParallelOptions popt;
+    popt.jobs = n;
+    popt.progressInterval = tool.options().progressInterval;
+    cached.impl = &tool.implementation();
+    cached.fingerprint = fp;
+    cached.runner = std::make_unique<campaign::ParallelCampaignRunner>(
+        core::fadesEngineFactory(tool.implementation(), tool.runCycles(),
+                                 tool.options(), tool.device().spec()),
+        popt);
+  }
+  return cached.runner->run(spec);
 }
 
 System8051::System8051()
@@ -217,7 +290,7 @@ std::vector<campaign::CampaignResult> bandSweep(
     spec.experiments = experiments;
     spec.seed = seed;
     spec.targetPool = pool;
-    out.push_back(tool.runCampaign(spec));
+    out.push_back(runCampaign(tool, spec));
     recordCampaign(std::string(campaign::toString(model)) + ", " +
                        std::string(campaign::toString(targets)) + ", " +
                        band.label + " cycles",

@@ -73,6 +73,19 @@ unsigned classifyCount(unsigned defaultCount = 400);
 /// Experiment count for emulation-time campaigns (they converge fast).
 unsigned timingCount(unsigned defaultCount = 80);
 
+/// FADES campaign worker count: `--jobs N` on the bench command line
+/// (captured by BenchRun), env FADES_JOBS as fallback, default 1 (serial).
+/// 0 means one worker per hardware thread.
+unsigned jobs();
+
+/// Run `spec` with `tool`'s configuration, sharded across jobs() workers.
+/// With jobs() <= 1 this is exactly tool.runCampaign(spec); otherwise a
+/// cached ParallelCampaignRunner (one per tool, replicating its device spec
+/// and options) runs it with bit-identical results - sharding changes the
+/// bench's wall-clock, never its numbers.
+campaign::CampaignResult runCampaign(core::FadesTool& tool,
+                                     const campaign::CampaignSpec& spec);
+
 /// The paper's system under test, built once per bench binary.
 class System8051 {
  public:

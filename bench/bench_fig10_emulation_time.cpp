@@ -32,7 +32,7 @@ campaign::CampaignResult run(core::FadesTool& tool, FaultModel m,
   spec.band = band;
   spec.experiments = n;
   spec.seed = seed;
-  return tool.runCampaign(spec);
+  return bench::runCampaign(tool, spec);
 }
 
 }  // namespace

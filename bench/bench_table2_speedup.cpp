@@ -27,7 +27,7 @@ double meanSeconds(core::FadesTool& tool, FaultModel m, TargetClass c,
   spec.band = band;
   spec.experiments = n;
   spec.seed = 11;
-  return tool.runCampaign(spec).modeledSeconds.mean();
+  return bench::runCampaign(tool, spec).modeledSeconds.mean();
 }
 
 double meanSecondsVfit(vfit::VfitTool& tool, FaultModel m, TargetClass c,

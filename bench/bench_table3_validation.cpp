@@ -113,7 +113,7 @@ int main(int argc, char** argv) {
     fs.experiments = n;
     fs.seed = 5;
     fs.targetPool = ffPool;
-    const auto f = fades.runCampaign(fs);
+    const auto f = bench::runCampaign(fades, fs);
     fs.targetPool = vfitFfPool;
     const auto v = vfitTool.runCampaign(fs);
     addRow("bit-flip", "FFs", common::fixed(f.failurePct(), 2),
@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
 
     fs.targets = TargetClass::MemoryBlockBit;
     fs.targetPool = memPool;
-    const auto fm = fades.runCampaign(fs);
+    const auto fm = bench::runCampaign(fades, fs);
     fs.targetPool = vfitMemPool;
     const auto vm = vfitTool.runCampaign(fs);
     addRow("bit-flip", "memory", common::fixed(fm.failurePct(), 2),

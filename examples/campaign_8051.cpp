@@ -3,7 +3,13 @@
 // set-up tool (Figure 9).
 //
 // Usage:
-//   campaign_8051 [model] [targets] [unit] [faults] [band] [artifact.json]
+//   campaign_8051 [--jobs N] [model] [targets] [unit] [faults] [band]
+//                 [artifact.json]
+//     --jobs N shard the campaign across N worker threads, each with its
+//              own device replica (0 = one per hardware thread; env
+//              FADES_JOBS is the fallback; default 1). Changes wall-clock
+//              only: outcomes, records, modeled times and the written
+//              artifact are bit-identical for every N.
 //     model    bitflip | pulse | delay | indet        (default bitflip)
 //     targets  ff | memory | lut | seqline | combline  (default ff)
 //     unit     any | registers | ram | alu | mem | fsm (default any)
@@ -12,12 +18,15 @@
 //     artifact write a fades.run/1 JSON (or .jsonl) run artifact here,
 //              with one record per experiment
 //
-// Example: ./build/examples/campaign_8051 pulse lut alu 300 long run.json
+// Example: ./build/examples/campaign_8051 --jobs 8 pulse lut alu 300 long
+//          run.json
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "campaign/artifact.hpp"
+#include "campaign/parallel.hpp"
 #include "campaign/types.hpp"
 #include "core/fades.hpp"
 #include "fpga/device.hpp"
@@ -28,16 +37,29 @@
 using namespace fades;
 
 int main(int argc, char** argv) {
-  auto arg = [&](int i, const char* def) {
-    return std::string(argc > i ? argv[i] : def);
+  // --jobs may appear anywhere; everything else is positional.
+  unsigned jobs = 1;
+  if (const char* env = std::getenv("FADES_JOBS")) {
+    jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  auto arg = [&](std::size_t i, const char* def) {
+    return i < positional.size() ? positional[i] : std::string(def);
   };
-  const std::string modelArg = arg(1, "bitflip");
-  const std::string targetArg = arg(2, "ff");
-  const std::string unitArg = arg(3, "any");
+  const std::string modelArg = arg(0, "bitflip");
+  const std::string targetArg = arg(1, "ff");
+  const std::string unitArg = arg(2, "any");
   const unsigned faults =
-      static_cast<unsigned>(std::strtoul(arg(4, "200").c_str(), nullptr, 10));
-  const std::string bandArg = arg(5, "short");
-  const std::string artifactPath = arg(6, "");
+      static_cast<unsigned>(std::strtoul(arg(3, "200").c_str(), nullptr, 10));
+  const std::string bandArg = arg(4, "short");
+  const std::string artifactPath = arg(5, "");
 
   campaign::CampaignSpec spec;
   spec.experiments = faults;
@@ -66,19 +88,27 @@ int main(int argc, char** argv) {
   const auto netlist = mc8051::buildCore(workload.bytes);
   const auto impl =
       synth::implement(netlist, fpga::DeviceSpec::virtex1000Like());
-  fpga::Device device(impl.spec);
   core::FadesOptions options;
   // Console detail only for small campaigns, but an artifact request keeps
   // the per-experiment records regardless so the JSON carries every row.
   options.keepRecords = faults <= 40 || !artifactPath.empty();
-  core::FadesTool fades(device, impl, workload.cycles, options);
+
+  // Both jobs paths run every experiment through the same stateless
+  // per-index derivation, so the runner yields bit-identical results for
+  // any worker count - only the wall-clock changes.
+  campaign::ParallelOptions popt;
+  popt.jobs = jobs;
+  popt.progressInterval = options.progressInterval;
+  campaign::ParallelCampaignRunner runner(
+      core::fadesEngineFactory(impl, workload.cycles, options), popt);
 
   std::printf("Running %u %s faults on %s",
               spec.experiments, campaign::toString(spec.model),
               campaign::toString(spec.targets));
-  std::printf(" (unit %s, duration %s cycles)...\n", unitArg.c_str(),
-              spec.band.label.c_str());
-  const auto result = fades.runCampaign(spec);
+  std::printf(" (unit %s, duration %s cycles, %u worker%s)...\n",
+              unitArg.c_str(), spec.band.label.c_str(), runner.jobs(),
+              runner.jobs() == 1 ? "" : "s");
+  const auto result = runner.run(spec);
 
   std::printf("\nResults of %zu experiments:\n", result.total());
   std::printf("  failures: %5zu (%.2f %%)\n", result.failures,
@@ -99,8 +129,11 @@ int main(int argc, char** argv) {
     }
   }
   if (!artifactPath.empty()) {
+    // Exclude the process metrics snapshot: it reflects replica setup and
+    // scheduling, which would break the artifact's --jobs byte-identity.
     const auto artifact = campaign::toRunArtifact(
-        result, modelArg + "_" + targetArg + "_" + unitArg);
+        result, modelArg + "_" + targetArg + "_" + unitArg,
+        /*includeMetrics=*/false);
     // Don't let a bad path abort after minutes of campaign: report and fail.
     try {
       if (artifactPath.size() > 6 &&

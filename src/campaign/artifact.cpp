@@ -92,13 +92,15 @@ Json toJson(const CampaignResult& result) {
 }
 
 obs::RunArtifact toRunArtifact(const CampaignResult& result,
-                               const std::string& name) {
+                               const std::string& name, bool includeMetrics) {
   obs::RunArtifact artifact("campaign", name);
   artifact.setSpec(toJson(result.spec));
   for (const auto& r : result.records) artifact.addRecord(toJson(r));
   artifact.setSection("summary", summaryJson(result));
   artifact.setCost(toJson(result.cost));
-  artifact.setMetrics(obs::Registry::global().snapshotJson());
+  if (includeMetrics) {
+    artifact.setMetrics(obs::Registry::global().snapshotJson());
+  }
   return artifact;
 }
 

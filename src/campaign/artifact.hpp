@@ -20,8 +20,11 @@ obs::Json toJson(const CostBreakdown& cost);
 obs::Json toJson(const CampaignResult& result);
 
 /// Package one campaign as a `fades.run/1` artifact named `name`, with the
-/// current global metrics snapshot attached.
+/// current global metrics snapshot attached. Pass includeMetrics = false to
+/// omit the snapshot: it is process telemetry (replica setup, scheduling),
+/// not campaign output, and is the one section that varies with `--jobs`.
 obs::RunArtifact toRunArtifact(const CampaignResult& result,
-                               const std::string& name);
+                               const std::string& name,
+                               bool includeMetrics = true);
 
 }  // namespace fades::campaign

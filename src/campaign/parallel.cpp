@@ -1,0 +1,156 @@
+#include "campaign/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+
+namespace fades::campaign {
+
+using common::ErrorKind;
+using common::require;
+
+namespace {
+
+unsigned resolveJobs(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ProgressTracker
+// ---------------------------------------------------------------------------
+
+ProgressTracker::ProgressTracker(std::string model, unsigned total,
+                                 unsigned interval)
+    : model_(std::move(model)),
+      total_(total),
+      interval_(interval),
+      gauge_(obs::Registry::global().gauge("campaign.progress_pct")) {
+  gauge_.set(0.0);
+}
+
+void ProgressTracker::record(const ExperimentOutcome& outcome) {
+  if (interval_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  switch (outcome.outcome) {
+    case Outcome::Failure: ++failures_; break;
+    case Outcome::Latent: ++latents_; break;
+    case Outcome::Silent: ++silents_; break;
+  }
+  modeledSum_ += outcome.modeledSeconds;
+  if (done_ % interval_ != 0 && done_ != total_) return;
+  gauge_.set(100.0 * done_ / total_);
+  FADES_LOG(Info) << "campaign progress" << obs::kv("model", model_)
+                  << obs::kv("done", done_) << obs::kv("total", total_)
+                  << obs::kv("failures", failures_)
+                  << obs::kv("latents", latents_)
+                  << obs::kv("silents", silents_)
+                  << obs::kv("modeled_s", modeledSum_);
+}
+
+// ---------------------------------------------------------------------------
+// ParallelCampaignRunner
+// ---------------------------------------------------------------------------
+
+ParallelCampaignRunner::ParallelCampaignRunner(EngineFactory factory,
+                                               ParallelOptions options)
+    : factory_(std::move(factory)),
+      opt_(options),
+      jobs_(resolveJobs(options.jobs)) {
+  require(static_cast<bool>(factory_), ErrorKind::InvalidArgument,
+          "parallel campaign runner needs an engine factory");
+}
+
+void ParallelCampaignRunner::ensureEngines(unsigned count) {
+  if (engines_.size() >= count) return;
+  const std::size_t have = engines_.size();
+  engines_.resize(count);
+  // Build the missing replicas concurrently: each factory call pays the
+  // one-time setup (bitstream download + golden run), so replica setup
+  // scales with the worker count instead of serializing in front of it.
+  std::vector<std::thread> builders;
+  std::mutex errMu;
+  std::exception_ptr firstError;
+  for (std::size_t w = have; w < count; ++w) {
+    builders.emplace_back([this, w, &errMu, &firstError] {
+      try {
+        engines_[w] = factory_();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errMu);
+        if (!firstError) firstError = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : builders) t.join();
+  if (firstError) {
+    engines_.resize(have);
+    std::rethrow_exception(firstError);
+  }
+  for (const auto& engine : engines_) {
+    require(engine != nullptr, ErrorKind::InvalidArgument,
+            "engine factory returned null");
+  }
+}
+
+CampaignResult ParallelCampaignRunner::run(const CampaignSpec& spec) {
+  const unsigned workers =
+      std::max(1u, std::min(jobs_, std::max(1u, spec.experiments)));
+  ensureEngines(workers);
+
+  obs::Span campaignSpan{"campaign.sharded",
+                         {{"model", toString(spec.model)},
+                          {"targets", toString(spec.targets)},
+                          {"jobs", std::to_string(workers)}}};
+  const std::vector<std::uint32_t> pool = engines_[0]->enumeratePool(spec);
+
+  std::vector<ExperimentOutcome> outcomes(spec.experiments);
+  ProgressTracker progress(toString(spec.model), spec.experiments,
+                           opt_.progressInterval);
+  std::atomic<unsigned> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex errMu;
+  std::exception_ptr firstError;
+
+  auto workerLoop = [&](unsigned w) {
+    try {
+      while (!abort.load(std::memory_order_relaxed)) {
+        const unsigned e = next.fetch_add(1, std::memory_order_relaxed);
+        if (e >= spec.experiments) break;
+        outcomes[e] = engines_[w]->runExperimentAt(spec, pool, e);
+        progress.record(outcomes[e]);
+      }
+    } catch (...) {
+      abort.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(errMu);
+      if (!firstError) firstError = std::current_exception();
+    }
+  };
+
+  if (workers == 1) {
+    workerLoop(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) threads.emplace_back(workerLoop, w);
+    for (auto& t : threads) t.join();
+  }
+  if (firstError) std::rethrow_exception(firstError);
+
+  // Merge in experiment-index order: the exact fold sequence of the serial
+  // loop, so sums and stats come out bit-identical.
+  CampaignResult result;
+  result.spec = spec;
+  for (const auto& outcome : outcomes) result.fold(outcome);
+  return result;
+}
+
+}  // namespace fades::campaign

@@ -1,0 +1,113 @@
+// Sharded campaign execution.
+//
+// The paper's value proposition is throughput - emulation beats simulation
+// because the FPGA grinds through experiments faster (Figure 10 / Table 2) -
+// and fault-injection campaigns are embarrassingly parallel: every
+// experiment replays the workload from a checkpoint on an otherwise pristine
+// device, so N workers with N device replicas multiply throughput without
+// touching the methodology. This follows the autonomous-emulation line of
+// work (Lopez-Ongil et al.), where many independent fault experiments run
+// concurrently against replicas of the same implementation.
+//
+// Determinism contract: experiment i of a campaign is a pure function of
+// (spec, i) - target choice, injection instant, duration and every in-fault
+// random draw come from Rng(common::streamSeed(spec.seed, ...)) - and the
+// merge folds per-experiment outcomes in index order through the same
+// CampaignResult::fold the serial loop uses. Outcome tallies, per-experiment
+// records and the modeled CostBreakdown are therefore bit-identical for any
+// shard count and any scheduling order; only wall-clock changes. Modeled
+// seconds model ONE board: sharding never reduces them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "campaign/types.hpp"
+#include "obs/metrics.hpp"
+
+namespace fades::campaign {
+
+/// One worker's private campaign engine. Implementations own whatever
+/// replica state they need (a device plus the tool driving it) and run any
+/// experiment of a spec by index, independently of all other indices.
+class CampaignEngine {
+ public:
+  virtual ~CampaignEngine() = default;
+
+  /// Enumerate the spec's target pool. Must be deterministic: every replica
+  /// built from the same implementation returns the same pool.
+  virtual std::vector<std::uint32_t> enumeratePool(const CampaignSpec& spec) = 0;
+
+  /// Run experiment `index` of the spec against `pool`. Must depend only on
+  /// (spec, pool, index) - never on which experiments ran before.
+  virtual ExperimentOutcome runExperimentAt(const CampaignSpec& spec,
+                                            std::span<const std::uint32_t> pool,
+                                            unsigned index) = 0;
+};
+
+/// Builds one engine replica; called once per worker, concurrently. The
+/// factory must be safe to invoke from multiple threads at the same time
+/// (replicas share only immutable inputs such as the implementation).
+using EngineFactory = std::function<std::unique_ptr<CampaignEngine>()>;
+
+/// Campaign-level progress heartbeat: one `campaign.progress_pct` gauge and
+/// one structured log line per interval for the whole campaign, regardless
+/// of how many shards feed it. Thread-safe; with interval 0 only the gauge
+/// reset happens and record() is a cheap no-op.
+class ProgressTracker {
+ public:
+  ProgressTracker(std::string model, unsigned total, unsigned interval);
+
+  void record(const ExperimentOutcome& outcome);
+
+ private:
+  std::mutex mu_;
+  std::string model_;
+  unsigned total_;
+  unsigned interval_;
+  unsigned done_ = 0;
+  std::size_t failures_ = 0;
+  std::size_t latents_ = 0;
+  std::size_t silents_ = 0;
+  double modeledSum_ = 0;
+  obs::Gauge& gauge_;
+};
+
+struct ParallelOptions {
+  /// Worker (and device-replica) count; 0 = one per hardware thread.
+  unsigned jobs = 1;
+  /// Campaign heartbeat every N experiments (campaign-wide, not per shard);
+  /// 0 disables it.
+  unsigned progressInterval = 0;
+};
+
+/// Partitions a campaign's experiment list across worker threads, each
+/// owning its own engine replica, and merges the per-experiment outcomes in
+/// index order. Replicas are built lazily on first run() - concurrently, so
+/// the one-time setup cost (bitstream download + golden run) is also paid in
+/// parallel - and are reused by subsequent run() calls.
+class ParallelCampaignRunner {
+ public:
+  explicit ParallelCampaignRunner(EngineFactory factory,
+                                  ParallelOptions options = {});
+
+  /// Resolved worker count (after 0 -> hardware concurrency).
+  unsigned jobs() const { return jobs_; }
+
+  CampaignResult run(const CampaignSpec& spec);
+
+ private:
+  void ensureEngines(unsigned count);
+
+  EngineFactory factory_;
+  ParallelOptions opt_;
+  unsigned jobs_;
+  std::vector<std::unique_ptr<CampaignEngine>> engines_;
+};
+
+}  // namespace fades::campaign

@@ -87,6 +87,24 @@ struct ExperimentRecord {
   double modeledSeconds = 0;
 };
 
+/// Self-contained result of one campaign experiment. Both the serial
+/// campaign loop and the sharded parallel runner produce these and fold
+/// them into a CampaignResult strictly in experiment-index order, so every
+/// accumulated floating-point sum is bit-identical no matter which worker
+/// ran which experiment or in what order the shards finished.
+struct ExperimentOutcome {
+  Outcome outcome = Outcome::Silent;
+  double modeledSeconds = 0;
+  double configSeconds = 0;
+  double workloadSeconds = 0;
+  double hostSeconds = 0;
+  std::uint64_t bytesToDevice = 0;
+  std::uint64_t bytesFromDevice = 0;
+  std::uint64_t sessions = 0;
+  bool hasRecord = false;
+  ExperimentRecord record;  // meaningful only when hasRecord is set
+};
+
 /// Modeled cost decomposition of a whole campaign - where the emulation
 /// time went (the split behind the paper's Figure 10 / Table 2 numbers).
 /// Field meaning per tool: for FADES `configSeconds` is host<->board
@@ -126,6 +144,19 @@ struct CampaignResult {
       case Outcome::Silent: ++silents; break;
     }
     modeledSeconds.add(seconds);
+  }
+  /// Accumulate one experiment. The canonical fold shared by the serial
+  /// runner and the shard merge; keeping it in one place is what makes
+  /// "same outcomes in the same order => bit-identical result" hold.
+  void fold(const ExperimentOutcome& x) {
+    add(x.outcome, x.modeledSeconds);
+    cost.configSeconds += x.configSeconds;
+    cost.workloadSeconds += x.workloadSeconds;
+    cost.hostSeconds += x.hostSeconds;
+    cost.bytesToDevice += x.bytesToDevice;
+    cost.bytesFromDevice += x.bytesFromDevice;
+    cost.sessions += x.sessions;
+    if (x.hasRecord) records.push_back(x.record);
   }
 };
 

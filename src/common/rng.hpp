@@ -92,6 +92,9 @@ class Xoshiro256StarStar {
 
   /// Derive an independent child stream (e.g. one per experiment) so that
   /// experiments can be replayed individually without running predecessors.
+  /// NOTE: fork() advances the parent generator, so the derived stream
+  /// depends on how many forks preceded it. Campaign runners use the
+  /// stateless streamSeed() below instead, which has no such coupling.
   constexpr Xoshiro256StarStar fork(std::uint64_t stream) {
     return Xoshiro256StarStar((*this)() ^ (stream * 0x9e3779b97f4a7c15ULL));
   }
@@ -105,5 +108,19 @@ class Xoshiro256StarStar {
 };
 
 using Rng = Xoshiro256StarStar;
+
+/// Stateless per-stream seed derivation: hash (seed, stream) into an
+/// independent generator seed. A pure function of its arguments, so
+/// experiment N of a campaign draws exactly the same faults no matter which
+/// worker runs it, in what order, or how many redraws earlier experiments
+/// needed - the determinism contract behind sharded campaign execution
+/// (merged N-shard results must be bit-identical to the serial run).
+constexpr std::uint64_t streamSeed(std::uint64_t seed, std::uint64_t stream) {
+  // Two SplitMix64 rounds: the first decorrelates the campaign seed, the
+  // second avalanches the stream index into all 64 bits.
+  SplitMix64 outer(seed);
+  SplitMix64 inner(outer.next() ^ (stream + 0x632be59bd9b4e019ULL));
+  return inner.next();
+}
 
 }  // namespace fades::common

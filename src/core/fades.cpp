@@ -768,72 +768,107 @@ Outcome FadesTool::runExperiment(FaultModel model, TargetClass cls,
   return outcome;
 }
 
+std::vector<std::uint32_t> FadesTool::campaignPool(
+    const CampaignSpec& spec) const {
+  return spec.targetPool.empty()
+             ? targets(spec.model, spec.targets, static_cast<Unit>(spec.unit))
+             : spec.targetPool;
+}
+
+campaign::ExperimentOutcome FadesTool::runCampaignExperiment(
+    const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+    unsigned index) {
+  // A handful of sites cannot host certain faults (e.g. a net with no free
+  // fabric around it for a delay detour); redraw like the paper's tool
+  // would skip an unusable location. Each attempt derives its own stream
+  // from (seed, index, attempt) alone, so redraws never perturb any other
+  // experiment - the invariant sharded execution relies on. The stride
+  // keeps attempt streams clear of neighbouring experiments (attempts cap
+  // at 20 << 131).
+  for (unsigned attempt = 0;; ++attempt) {
+    Rng erng(common::streamSeed(spec.seed,
+                                std::uint64_t{index} * 131 + attempt));
+    const auto target = pool[erng.below(pool.size())];
+    const auto injectCycle = erng.below(runCycles_);
+    const double duration =
+        spec.band.minCycles +
+        erng.uniform01() * (spec.band.maxCycles - spec.band.minCycles);
+    campaign::ExperimentOutcome out;
+    bits::TransferMeter meter;
+    try {
+      out.outcome = runExperiment(spec.model, spec.targets, target,
+                                  injectCycle, duration, erng,
+                                  &out.modeledSeconds, &meter);
+    } catch (const common::FadesError& err) {
+      if (err.kind() != common::ErrorKind::InjectionError || attempt >= 20) {
+        throw;
+      }
+      continue;
+    }
+    out.configSeconds = opt_.link.seconds(meter);
+    out.workloadSeconds = static_cast<double>(runCycles_) / opt_.fpgaClockHz;
+    out.hostSeconds = opt_.hostPerExperimentSeconds;
+    out.bytesToDevice = meter.bytesToDevice;
+    out.bytesFromDevice = meter.bytesFromDevice;
+    out.sessions = meter.sessions;
+    if (opt_.keepRecords) {
+      out.hasRecord = true;
+      out.record = campaign::ExperimentRecord{
+          targetName(spec.targets, target), injectCycle, duration,
+          out.outcome, out.modeledSeconds};
+    }
+    return out;
+  }
+}
+
 CampaignResult FadesTool::runCampaign(const CampaignSpec& spec) {
   CampaignResult result;
   result.spec = spec;
-  Rng rng(spec.seed);
-  const auto unit = static_cast<Unit>(spec.unit);
   obs::Span campaignSpan{"campaign",
                          {{"model", campaign::toString(spec.model)},
                           {"targets", campaign::toString(spec.targets)}}};
-  const auto pool = spec.targetPool.empty()
-                        ? targets(spec.model, spec.targets, unit)
-                        : spec.targetPool;
-  obs::Gauge& progress = obs::Registry::global().gauge("campaign.progress_pct");
-  progress.set(0.0);
-
+  const auto pool = campaignPool(spec);
+  campaign::ProgressTracker progress(campaign::toString(spec.model),
+                                     spec.experiments, opt_.progressInterval);
   for (unsigned e = 0; e < spec.experiments; ++e) {
-    // A handful of sites cannot host certain faults (e.g. a net with no
-    // free fabric around it for a delay detour); redraw like the paper's
-    // tool would skip an unusable location.
-    for (unsigned attempt = 0;; ++attempt) {
-      Rng erng = rng.fork(e * 131 + attempt);
-      const auto target = pool[erng.below(pool.size())];
-      const auto injectCycle = erng.below(runCycles_);
-      const double duration =
-          spec.band.minCycles +
-          erng.uniform01() * (spec.band.maxCycles - spec.band.minCycles);
-      double seconds = 0;
-      bits::TransferMeter meter;
-      try {
-        const Outcome o = runExperiment(spec.model, spec.targets, target,
-                                        injectCycle, duration, erng,
-                                        &seconds, &meter);
-        result.add(o, seconds);
-        result.cost.configSeconds += opt_.link.seconds(meter);
-        result.cost.workloadSeconds +=
-            static_cast<double>(runCycles_) / opt_.fpgaClockHz;
-        result.cost.hostSeconds += opt_.hostPerExperimentSeconds;
-        result.cost.bytesToDevice += meter.bytesToDevice;
-        result.cost.bytesFromDevice += meter.bytesFromDevice;
-        result.cost.sessions += meter.sessions;
-        if (opt_.keepRecords) {
-          result.records.push_back(campaign::ExperimentRecord{
-              targetName(spec.targets, target), injectCycle, duration, o,
-              seconds});
-        }
-        break;
-      } catch (const common::FadesError& err) {
-        if (err.kind() != common::ErrorKind::InjectionError ||
-            attempt >= 20) {
-          throw;
-        }
-      }
-    }
-    if (opt_.progressInterval != 0 &&
-        ((e + 1) % opt_.progressInterval == 0 || e + 1 == spec.experiments)) {
-      progress.set(100.0 * (e + 1) / spec.experiments);
-      FADES_LOG(Info) << "campaign progress"
-                      << obs::kv("model", campaign::toString(spec.model))
-                      << obs::kv("done", e + 1)
-                      << obs::kv("total", spec.experiments)
-                      << obs::kv("failures", result.failures)
-                      << obs::kv("latents", result.latents)
-                      << obs::kv("silents", result.silents)
-                      << obs::kv("modeled_s", result.modeledSeconds.sum());
-    }
+    const auto outcome = runCampaignExperiment(spec, pool, e);
+    result.fold(outcome);
+    progress.record(outcome);
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-campaign engine adapter
+// ---------------------------------------------------------------------------
+
+FadesCampaignEngine::FadesCampaignEngine(const synth::Implementation& impl,
+                                         std::uint64_t runCycles,
+                                         FadesOptions options,
+                                         const fpga::DeviceSpec& deviceSpec)
+    : device_(deviceSpec),
+      tool_(std::make_unique<FadesTool>(device_, impl, runCycles,
+                                        std::move(options))) {}
+
+std::vector<std::uint32_t> FadesCampaignEngine::enumeratePool(
+    const CampaignSpec& spec) {
+  return tool_->campaignPool(spec);
+}
+
+campaign::ExperimentOutcome FadesCampaignEngine::runExperimentAt(
+    const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+    unsigned index) {
+  return tool_->runCampaignExperiment(spec, pool, index);
+}
+
+campaign::EngineFactory fadesEngineFactory(
+    const synth::Implementation& impl, std::uint64_t runCycles,
+    FadesOptions options, std::optional<fpga::DeviceSpec> deviceSpec) {
+  return [&impl, runCycles, options = std::move(options),
+          deviceSpec = std::move(deviceSpec)] {
+    return std::make_unique<FadesCampaignEngine>(
+        impl, runCycles, options, deviceSpec ? *deviceSpec : impl.spec);
+  };
 }
 
 Outcome FadesTool::runMultipleBitFlipExperiment(

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bits/config_port.hpp"
+#include "campaign/parallel.hpp"
 #include "campaign/types.hpp"
 #include "common/rng.hpp"
 #include "obs/metrics.hpp"
@@ -105,6 +106,21 @@ class FadesTool {
   std::string targetName(TargetClass cls, std::uint32_t target) const;
 
   CampaignResult runCampaign(const CampaignSpec& spec);
+
+  /// The spec's target pool: its explicit pool when set, otherwise the full
+  /// enumeration. Deterministic per implementation, so every device replica
+  /// of a sharded campaign sees the same pool.
+  std::vector<std::uint32_t> campaignPool(const CampaignSpec& spec) const;
+
+  /// Run campaign experiment `index` of `spec` against `pool`. A pure
+  /// function of (spec, pool, index): the experiment's random stream is
+  /// derived statelessly from the campaign seed and index, and unusable
+  /// fault sites redraw from per-attempt streams. Both the serial
+  /// runCampaign loop and the sharded runner execute experiments through
+  /// this one path.
+  campaign::ExperimentOutcome runCampaignExperiment(
+      const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+      unsigned index);
 
   Outcome runExperiment(FaultModel model, TargetClass cls,
                         std::uint32_t target, std::uint64_t injectCycle,
@@ -192,5 +208,36 @@ class FadesTool {
   obs::Counter& ctrSilents_;
   obs::Histogram& modeledSecondsHist_;
 };
+
+/// One worker's FADES replica for sharded campaigns: a private simulated
+/// device configured from the shared (immutable) implementation, plus the
+/// tool driving it. Each replica pays the one-time setup - bitstream
+/// download and golden run - in its own thread.
+class FadesCampaignEngine final : public campaign::CampaignEngine {
+ public:
+  FadesCampaignEngine(const synth::Implementation& impl,
+                      std::uint64_t runCycles, FadesOptions options,
+                      const fpga::DeviceSpec& deviceSpec);
+
+  std::vector<std::uint32_t> enumeratePool(const CampaignSpec& spec) override;
+  campaign::ExperimentOutcome runExperimentAt(
+      const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+      unsigned index) override;
+
+  FadesTool& tool() { return *tool_; }
+
+ private:
+  fpga::Device device_;
+  std::unique_ptr<FadesTool> tool_;
+};
+
+/// Engine factory for campaign::ParallelCampaignRunner: every call builds a
+/// fresh Device + FadesTool replica. `impl` is captured by reference and
+/// must outlive the runner. `deviceSpec` overrides the implementation's
+/// device spec (e.g. a delay-calibrated clock period); pass nothing to use
+/// impl.spec.
+campaign::EngineFactory fadesEngineFactory(
+    const synth::Implementation& impl, std::uint64_t runCycles,
+    FadesOptions options, std::optional<fpga::DeviceSpec> deviceSpec = {});
 
 }  // namespace fades::core

@@ -206,13 +206,12 @@ Outcome PermanentFaults::runExperiment(PermanentFaultModel model,
 campaign::CampaignResult PermanentFaults::runCampaign(
     const PermanentCampaignSpec& spec) {
   campaign::CampaignResult result;
-  Rng rng(spec.seed);
   const auto pool = targets(spec.model, spec.unit);
   for (unsigned e = 0; e < spec.experiments; ++e) {
     // Some sites cannot host a given defect (e.g. no foreign net adjacent
     // to bridge to); redraw the target like the paper's tool would.
     for (unsigned attempt = 0;; ++attempt) {
-      Rng erng = rng.fork(e * 97 + attempt);
+      Rng erng(common::streamSeed(spec.seed, std::uint64_t{e} * 97 + attempt));
       const auto target = pool[erng.below(pool.size())];
       double seconds = 0;
       try {

@@ -9,6 +9,7 @@
 // span); FADES_TRACE=0 disables it process-wide.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <initializer_list>
@@ -41,8 +42,8 @@ class TraceBuffer {
 
   explicit TraceBuffer(std::size_t capacity = 65536);
 
-  bool enabled() const { return enabled_; }
-  void setEnabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
 
   void record(SpanRecord record);
 
@@ -62,7 +63,9 @@ class TraceBuffer {
   static std::uint64_t nowMicros();
 
  private:
-  bool enabled_ = true;
+  // Atomic: toggled while other threads record spans (the ring itself is
+  // guarded by mu_, but the enabled check happens outside the lock).
+  std::atomic<bool> enabled_{true};
   std::size_t capacity_;
   mutable std::mutex mu_;
   std::vector<SpanRecord> ring_;

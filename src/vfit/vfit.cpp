@@ -220,7 +220,6 @@ Outcome VfitTool::runExperiment(FaultModel model, TargetClass targets,
 CampaignResult VfitTool::runCampaign(const CampaignSpec& spec) {
   CampaignResult result;
   result.spec = spec;
-  Rng rng(spec.seed);
   const auto unit = static_cast<Unit>(spec.unit);
 
   // Enumerate targets up front (the fault-location process).
@@ -264,7 +263,7 @@ CampaignResult VfitTool::runCampaign(const CampaignSpec& spec) {
   for (unsigned e = 0; e < spec.experiments; ++e) {
     // Same stream derivation as the FADES campaign loop so that identical
     // specs over identical pools draw identical faults in both tools.
-    Rng erng = rng.fork(e * 131);
+    Rng erng(common::streamSeed(spec.seed, std::uint64_t{e} * 131));
     const auto target = targets[erng.below(targets.size())];
     const auto injectCycle = erng.below(runCycles_);
     const double duration =

@@ -4,8 +4,14 @@
 
 #include <set>
 #include <sstream>
+#include <utility>
 
+#include "campaign/parallel.hpp"
+#include "campaign/types.hpp"
+#include "common/error.hpp"
+#include "core/fades.hpp"
 #include "core/lut_circuit.hpp"
+#include "fpga/device.hpp"
 #include "mc8051/assembler.hpp"
 #include "mc8051/core.hpp"
 #include "mc8051/iss.hpp"
@@ -188,6 +194,82 @@ TEST_P(AssemblerFuzz, IssAndRtlAgreeOnRandomPrograms) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerFuzz, ::testing::Range(1, 11));
+
+// --------------------------------------- sharded campaign equivalence -----
+
+/// For any small random design and any small random campaign spec, the
+/// sharded runner merged over 2-5 workers equals the serial FadesTool run
+/// field for field - bit-identical floating-point sums included.
+TEST(ParallelEquivalence, RandomCampaignsShardedEqualsSerial) {
+  using campaign::CampaignSpec;
+  using campaign::DurationBand;
+  using campaign::FaultModel;
+  using campaign::TargetClass;
+
+  const std::pair<FaultModel, TargetClass> kinds[] = {
+      {FaultModel::BitFlip, TargetClass::SequentialFF},
+      {FaultModel::Pulse, TargetClass::CombinationalLut},
+      {FaultModel::Indetermination, TargetClass::SequentialFF},
+      {FaultModel::Indetermination, TargetClass::CombinationalLut},
+  };
+  Rng rng(20260805);
+  for (int trial = 0; trial < 5; ++trial) {
+    Builder b = randomDesign(100 + trial, 30 + rng.below(25));
+    const Netlist nl = b.finish();
+    const auto impl = synth::implement(nl, fpga::DeviceSpec::small());
+    const std::uint64_t cycles = 32 + rng.below(32);
+
+    core::FadesOptions opt;
+    opt.observedOutputs = {"out"};
+    opt.keepRecords = true;
+    opt.progressInterval = 0;
+
+    CampaignSpec spec;
+    const auto& kind = kinds[rng.below(std::size(kinds))];
+    spec.model = kind.first;
+    spec.targets = kind.second;
+    spec.band = DurationBand::paperBands()[rng.below(3)];
+    spec.experiments = 5 + static_cast<unsigned>(rng.below(8));
+    spec.seed = rng.below(1u << 30);
+
+    fpga::Device device(impl.spec);
+    core::FadesTool tool(device, impl, cycles, opt);
+    if (tool.campaignPool(spec).empty()) continue;
+    const auto serial = tool.runCampaign(spec);
+
+    campaign::ParallelOptions popt;
+    popt.jobs = 2 + static_cast<unsigned>(rng.below(4));
+    campaign::ParallelCampaignRunner runner(
+        core::fadesEngineFactory(impl, cycles, opt), popt);
+    const auto sharded = runner.run(spec);
+
+    SCOPED_TRACE("trial " + std::to_string(trial) + " jobs " +
+                 std::to_string(popt.jobs) + " seed " +
+                 std::to_string(spec.seed));
+    EXPECT_EQ(serial.failures, sharded.failures);
+    EXPECT_EQ(serial.latents, sharded.latents);
+    EXPECT_EQ(serial.silents, sharded.silents);
+    EXPECT_EQ(serial.modeledSeconds.count(), sharded.modeledSeconds.count());
+    EXPECT_EQ(serial.modeledSeconds.sum(), sharded.modeledSeconds.sum());
+    EXPECT_EQ(serial.modeledSeconds.stddev(), sharded.modeledSeconds.stddev());
+    EXPECT_EQ(serial.cost.configSeconds, sharded.cost.configSeconds);
+    EXPECT_EQ(serial.cost.workloadSeconds, sharded.cost.workloadSeconds);
+    EXPECT_EQ(serial.cost.hostSeconds, sharded.cost.hostSeconds);
+    EXPECT_EQ(serial.cost.bytesToDevice, sharded.cost.bytesToDevice);
+    EXPECT_EQ(serial.cost.bytesFromDevice, sharded.cost.bytesFromDevice);
+    EXPECT_EQ(serial.cost.sessions, sharded.cost.sessions);
+    ASSERT_EQ(serial.records.size(), sharded.records.size());
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+      EXPECT_EQ(serial.records[i].targetName, sharded.records[i].targetName);
+      EXPECT_EQ(serial.records[i].injectCycle, sharded.records[i].injectCycle);
+      EXPECT_EQ(serial.records[i].durationCycles,
+                sharded.records[i].durationCycles);
+      EXPECT_EQ(serial.records[i].outcome, sharded.records[i].outcome);
+      EXPECT_EQ(serial.records[i].modeledSeconds,
+                sharded.records[i].modeledSeconds);
+    }
+  }
+}
 
 // ------------------------------------------------------ RNG statistical -----
 
