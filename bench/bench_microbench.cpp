@@ -10,10 +10,13 @@
 #include <vector>
 
 #include "bits/config_port.hpp"
+#include "campaign/types.hpp"
+#include "core/fades.hpp"
 #include "fpga/device.hpp"
 #include "mc8051/core.hpp"
 #include "mc8051/iss.hpp"
 #include "mc8051/workloads.hpp"
+#include "rtl/builder.hpp"
 #include "sim/simulator.hpp"
 #include "synth/implement.hpp"
 
@@ -98,6 +101,111 @@ void BM_DeviceStateRestore(benchmark::State& state) {
   for (auto _ : state) dev.restoreState(snapshot);
 }
 BENCHMARK(BM_DeviceStateRestore);
+
+// Reconfiguration-dominated single experiments, with and without the
+// session-scoped frame transaction cache. The design is deliberately tiny
+// and the emulated run short, so wall-clock is dominated by configuration
+// frame traffic rather than by cycle emulation - this is the regime the
+// cache targets, and the pair below is what CI's regression gate compares
+// (cached / uncached throughput ratio, machine-independent).
+struct ReconfigDesign {
+  netlist::Netlist nl;
+  synth::Implementation impl;
+  std::uint64_t cycles = 12;
+
+  static netlist::Netlist build() {
+    rtl::Builder b;
+    b.setUnit(netlist::Unit::Registers);
+    rtl::Register lfsr = b.makeRegister("lfsr", 8, 1);
+    auto fb = b.lxor(lfsr.q[7],
+                     b.lxor(lfsr.q[5], b.lxor(lfsr.q[4], lfsr.q[3])));
+    rtl::Bus next{fb};
+    for (int i = 0; i < 7; ++i) next.push_back(lfsr.q[i]);
+    b.connect(lfsr, next);
+    b.setUnit(netlist::Unit::Fsm);
+    rtl::Register cnt = b.makeRegister("cnt", 4, 0);
+    b.connect(cnt, b.increment(cnt.q));
+    b.setUnit(netlist::Unit::Alu);
+    auto sum = b.add(lfsr.q, b.zeroExtend(cnt.q, 8), {});
+    b.output("out", sum.sum);
+    return b.finish();
+  }
+
+  ReconfigDesign()
+      : nl(build()), impl(synth::implement(nl, fpga::DeviceSpec::small())) {}
+
+  static const ReconfigDesign& get() {
+    static ReconfigDesign d;
+    return d;
+  }
+};
+
+void runReconfigExperiments(benchmark::State& state,
+                            campaign::FaultModel model,
+                            campaign::TargetClass cls, bool cache,
+                            core::BitFlipVia via = core::BitFlipVia::Lsr) {
+  const auto& d = ReconfigDesign::get();
+  core::FadesOptions opt;
+  opt.observedOutputs = {"out"};
+  opt.sessionFrameCache = cache;
+  opt.bitFlipVia = via;
+  fpga::Device dev(d.impl.spec);
+  core::FadesTool tool(dev, d.impl, d.cycles, opt);
+  campaign::CampaignSpec spec;
+  spec.model = model;
+  spec.targets = cls;
+  spec.seed = 11;
+  spec.experiments = 1u << 20;  // index wrap bound, never reached
+  const auto pool = tool.campaignPool(spec);
+  unsigned index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tool.runCampaignExperiment(spec, pool, index++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ReconfigExperimentPulseCached(benchmark::State& state) {
+  runReconfigExperiments(state, campaign::FaultModel::Pulse,
+                         campaign::TargetClass::CombinationalLut, true);
+}
+BENCHMARK(BM_ReconfigExperimentPulseCached);
+
+void BM_ReconfigExperimentPulseUncached(benchmark::State& state) {
+  runReconfigExperiments(state, campaign::FaultModel::Pulse,
+                         campaign::TargetClass::CombinationalLut, false);
+}
+BENCHMARK(BM_ReconfigExperimentPulseUncached);
+
+void BM_ReconfigExperimentBitFlipCached(benchmark::State& state) {
+  runReconfigExperiments(state, campaign::FaultModel::BitFlip,
+                         campaign::TargetClass::SequentialFF, true);
+}
+BENCHMARK(BM_ReconfigExperimentBitFlipCached);
+
+void BM_ReconfigExperimentBitFlipUncached(benchmark::State& state) {
+  runReconfigExperiments(state, campaign::FaultModel::BitFlip,
+                         campaign::TargetClass::SequentialFF, false);
+}
+BENCHMARK(BM_ReconfigExperimentBitFlipUncached);
+
+// The GSR mechanism reads every used capture column and rewrites the
+// set/reset mux of every used FF twice per experiment - the most
+// reconfiguration-dominated injector, and the pair CI's regression gate
+// tracks.
+void BM_ReconfigExperimentGsrCached(benchmark::State& state) {
+  runReconfigExperiments(state, campaign::FaultModel::BitFlip,
+                         campaign::TargetClass::SequentialFF, true,
+                         core::BitFlipVia::Gsr);
+}
+BENCHMARK(BM_ReconfigExperimentGsrCached);
+
+void BM_ReconfigExperimentGsrUncached(benchmark::State& state) {
+  runReconfigExperiments(state, campaign::FaultModel::BitFlip,
+                         campaign::TargetClass::SequentialFF, false,
+                         core::BitFlipVia::Gsr);
+}
+BENCHMARK(BM_ReconfigExperimentGsrUncached);
 
 void BM_Synthesize8051(benchmark::State& state) {
   const auto& s = Shared::get();

@@ -3,13 +3,16 @@
 // set-up tool (Figure 9).
 //
 // Usage:
-//   campaign_8051 [--jobs N] [model] [targets] [unit] [faults] [band]
-//                 [artifact.json]
+//   campaign_8051 [--jobs N] [--no-cache] [model] [targets] [unit] [faults]
+//                 [band] [artifact.json]
 //     --jobs N shard the campaign across N worker threads, each with its
 //              own device replica (0 = one per hardware thread; env
 //              FADES_JOBS is the fallback; default 1). Changes wall-clock
 //              only: outcomes, records, modeled times and the written
 //              artifact are bit-identical for every N.
+//     --no-cache disable the session-scoped frame transaction cache in the
+//              configuration port. Like --jobs this changes wall-clock
+//              only; the artifact stays bit-identical either way.
 //     model    bitflip | pulse | delay | indet        (default bitflip)
 //     targets  ff | memory | lut | seqline | combline  (default ff)
 //     unit     any | registers | ram | alu | mem | fsm (default any)
@@ -37,8 +40,9 @@
 using namespace fades;
 
 int main(int argc, char** argv) {
-  // --jobs may appear anywhere; everything else is positional.
+  // --jobs and --no-cache may appear anywhere; everything else is positional.
   unsigned jobs = 1;
+  bool frameCache = true;
   if (const char* env = std::getenv("FADES_JOBS")) {
     jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
   }
@@ -46,6 +50,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::string(argv[i]) == "--no-cache") {
+      frameCache = false;
     } else {
       positional.emplace_back(argv[i]);
     }
@@ -92,6 +98,7 @@ int main(int argc, char** argv) {
   // Console detail only for small campaigns, but an artifact request keeps
   // the per-experiment records regardless so the JSON carries every row.
   options.keepRecords = faults <= 40 || !artifactPath.empty();
+  options.sessionFrameCache = frameCache;
 
   // Both jobs paths run every experiment through the same stateless
   // per-index derivation, so the runner yields bit-identical results for

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
+#include <tuple>
 #include <vector>
 
 #include "fpga/device.hpp"
@@ -75,6 +77,16 @@ struct BoardLink {
 // shows up in metrics snapshots and run artifacts without any extra
 // plumbing. The per-port TransferMeter keeps per-experiment resolution; the
 // registry keeps the process totals.
+//
+// Session-scoped frame transaction cache: with the cache enabled, frames
+// read between beginSession() and endSession() are held in a host-side
+// shadow keyed by frame address, repeated reads are served from the shadow,
+// and dirty frames are written back coalesced at sync points. The
+// TransferMeter still charges every LOGICAL operation exactly as the
+// uncached port would - the cache changes host wall-clock only, never
+// modeled seconds, outcomes or artifacts. Shadow occupancy is reported via
+// config.cache_hits / config.cache_misses / config.cache_frames_flushed /
+// config.cache_evictions.
 class ConfigPort {
  public:
   explicit ConfigPort(Device& device)
@@ -85,17 +97,63 @@ class ConfigPort {
         cReadOps_(obs::Registry::global().counter("config.read_ops")),
         cCaptureOps_(obs::Registry::global().counter("config.capture_ops")),
         cCommandOps_(obs::Registry::global().counter("config.command_ops")),
-        cSessions_(obs::Registry::global().counter("config.sessions")) {}
+        cSessions_(obs::Registry::global().counter("config.sessions")),
+        cCacheHits_(obs::Registry::global().counter("config.cache_hits")),
+        cCacheMisses_(obs::Registry::global().counter("config.cache_misses")),
+        cCacheFlushed_(
+            obs::Registry::global().counter("config.cache_frames_flushed")),
+        cCacheEvicted_(
+            obs::Registry::global().counter("config.cache_evictions")) {}
 
   Device& device() { return dev_; }
   const TransferMeter& meter() const { return meter_; }
   void resetMeter() { meter_.reset(); }
 
+  /// Enable the session-scoped frame transaction cache. Disabling flushes
+  /// and drops any open shadow first, so the device is always current.
+  void setCacheEnabled(bool on);
+  bool cacheEnabled() const { return cacheEnabled_; }
+
   /// Mark the start of a reconfiguration session (one injector action such
-  /// as "inject fault" or "remove fault" is one session).
+  /// as "inject fault" or "remove fault" is one session). With the cache
+  /// enabled this also opens a fresh frame transaction.
   void beginSession() {
     ++meter_.sessions;
     cSessions_.inc();
+    if (cacheEnabled_) {
+      sync();
+      inTransaction_ = true;
+    }
+  }
+
+  /// Close the current frame transaction: write dirty frames back coalesced
+  /// and drop the volatile shadows. Safe (and free) when no transaction is
+  /// open.
+  void endSession() {
+    sync();
+    inTransaction_ = false;
+  }
+  /// Alias for callers that think in commit/rollback terms.
+  void commit() { endSession(); }
+
+  /// Flush dirty shadow frames to the device, keeping the transaction open.
+  /// Charges nothing: the logical operations that dirtied the frames were
+  /// already metered. Capture and BRAM-content shadows are dropped (they
+  /// mirror run-time state); clean logic-plane shadows are retained, because
+  /// the logic configuration only changes through this port - callers that
+  /// write logic bits directly on the Device must call invalidate().
+  void sync();
+
+  /// sync() + drop every shadow, retained logic frames included. Required
+  /// after mutating the logic configuration plane behind the port's back
+  /// (direct Device::setLogicBit writes, external bitstream loads).
+  void invalidate();
+
+  /// sync() + Device::settle(): every configuration change made through the
+  /// port is guaranteed visible to the emulated fabric afterwards.
+  void settle() {
+    sync();
+    dev_.settle();
   }
 
   // --- frame-level transfers --------------------------------------------
@@ -162,6 +220,41 @@ class ConfigPort {
   /// Read-modify-write one plane-A bit through its containing frame.
   void rmwLogicBit(std::size_t addr, bool value);
 
+  // --- frame transaction shadow --------------------------------------------
+  // Keyed by (plane, major, minor); std::map so the coalesced write-back at
+  // sync() walks frames in deterministic address order.
+  using FrameKey = std::tuple<std::uint8_t, std::uint32_t, std::uint32_t>;
+  struct ShadowFrame {
+    std::vector<std::uint8_t> bytes;  // pending frame image
+    /// Device content when the frame was first shadowed (refreshed at each
+    /// flush). Lets sync() write back differentially - only changed bits
+    /// travel to the Device - and turns writes that restore the original
+    /// content into no-ops.
+    std::vector<std::uint8_t> orig;
+    bool dirty = false;
+  };
+
+  bool shadowActive() const { return cacheEnabled_ && inTransaction_; }
+  static FrameKey logicKey(FrameAddr f) {
+    return {static_cast<std::uint8_t>(fpga::Plane::Logic), f.major, f.minor};
+  }
+  static FrameKey bramKey(unsigned block, unsigned minor) {
+    return {static_cast<std::uint8_t>(fpga::Plane::BramContent), block, minor};
+  }
+  static FrameKey captureKey(unsigned col) {
+    return {static_cast<std::uint8_t>(fpga::Plane::Capture), col, 0};
+  }
+  /// Shadow entry for `key`, populated from the device on first touch.
+  /// Counts config.cache_hits / config.cache_misses.
+  ShadowFrame& shadowFor(const FrameKey& key);
+  /// Store a full frame image in the shadow and mark it dirty, zeroing the
+  /// pad bits past `payloadBits` so shadow reads match device read-back.
+  void shadowStore(const FrameKey& key, std::span<const std::uint8_t> bytes,
+                   unsigned payloadBits);
+  /// Unmetered host-mirror frame read used by the blind helpers: sees
+  /// pending shadow writes when a transaction is open.
+  std::vector<std::uint8_t> mirrorLogicFrame(FrameAddr f);
+
   // Meter + registry accounting for one operation of each class.
   void noteWrite(std::uint64_t bytes) {
     ++meter_.writeOps;
@@ -190,6 +283,9 @@ class ConfigPort {
 
   Device& dev_;
   TransferMeter meter_;
+  bool cacheEnabled_ = false;
+  bool inTransaction_ = false;
+  std::map<FrameKey, ShadowFrame> shadow_;
   obs::Counter& cBytesWritten_;
   obs::Counter& cBytesRead_;
   obs::Counter& cWriteOps_;
@@ -197,6 +293,10 @@ class ConfigPort {
   obs::Counter& cCaptureOps_;
   obs::Counter& cCommandOps_;
   obs::Counter& cSessions_;
+  obs::Counter& cCacheHits_;
+  obs::Counter& cCacheMisses_;
+  obs::Counter& cCacheFlushed_;
+  obs::Counter& cCacheEvicted_;
 };
 
 }  // namespace fades::bits

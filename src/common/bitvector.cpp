@@ -37,12 +37,35 @@ void BitVector::copyBits(const BitVector& src, std::size_t srcOff,
 
 std::vector<std::uint8_t> BitVector::exportBytes(std::size_t bitOff,
                                                  std::size_t n) const {
-  assert(bitOff + n <= bitCount_);
   std::vector<std::uint8_t> out((n + 7) / 8, 0);
-  for (std::size_t k = 0; k < n; ++k) {
-    if (get(bitOff + k)) out[k >> 3] |= static_cast<std::uint8_t>(1u << (k & 7));
-  }
+  exportBytesInto(bitOff, n, out);
   return out;
+}
+
+void BitVector::exportBytesInto(std::size_t bitOff, std::size_t n,
+                                std::span<std::uint8_t> out) const {
+  assert(bitOff + n <= bitCount_);
+  const std::size_t nBytes = (n + 7) / 8;
+  assert(out.size() >= nBytes);
+  const unsigned shift = static_cast<unsigned>(bitOff & 63);
+  std::size_t w = bitOff >> 6;
+  std::size_t k = 0;
+  while (k < nBytes) {
+    std::uint64_t v = words_[w] >> shift;
+    if (shift != 0 && w + 1 < words_.size()) {
+      v |= words_[w + 1] << (64 - shift);
+    }
+    const std::size_t group = std::min<std::size_t>(8, nBytes - k);
+    for (std::size_t j = 0; j < group; ++j) {
+      out[k + j] = static_cast<std::uint8_t>(v >> (8 * j));
+    }
+    k += group;
+    ++w;
+  }
+  if ((n & 7) != 0) {
+    // Zero the tail bits past n, matching the per-bit exporter.
+    out[nBytes - 1] &= static_cast<std::uint8_t>((1u << (n & 7)) - 1);
+  }
 }
 
 void BitVector::importBytes(std::size_t bitOff, std::size_t n,

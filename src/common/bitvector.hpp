@@ -47,6 +47,12 @@ class BitVector {
   std::vector<std::uint8_t> exportBytes(std::size_t bitOff,
                                         std::size_t n) const;
 
+  /// Allocation-free exportBytes: fills out[0 .. (n+7)/8) and leaves any
+  /// remaining bytes of `out` untouched. Word-at-a-time, so configuration
+  /// frames come out of the plane without a per-bit scan.
+  void exportBytesInto(std::size_t bitOff, std::size_t n,
+                       std::span<std::uint8_t> out) const;
+
   /// Import packed bytes (inverse of exportBytes).
   void importBytes(std::size_t bitOff, std::size_t n,
                    std::span<const std::uint8_t> bytes);

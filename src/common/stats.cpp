@@ -34,16 +34,26 @@ double percent(std::size_t part, std::size_t whole) {
 
 std::string fixed(double value, int decimals) {
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
-  return buf;
+  const int n = std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  if (n < 0) return {};
+  if (static_cast<std::size_t>(n) < sizeof buf) return buf;
+  // Wide values (e.g. 1e300 at 3 decimals) need more than the stack buffer;
+  // format again into a correctly sized string instead of truncating.
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, "%.*f", decimals, value);
+  return out;
 }
 
 std::string renderTable(const std::vector<std::string>& header,
                         const std::vector<std::vector<std::string>>& rows) {
-  std::vector<std::size_t> widths(header.size(), 0);
+  // Size to the widest row, not just the header: rows may carry more
+  // columns than the header names, and those cells must not be dropped.
+  std::size_t columns = header.size();
+  for (const auto& row : rows) columns = std::max(columns, row.size());
+  std::vector<std::size_t> widths(columns, 0);
   for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
   for (const auto& row : rows) {
-    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
       widths[c] = std::max(widths[c], row[c].size());
     }
   }

@@ -39,6 +39,7 @@ FadesTool::FadesTool(fpga::Device& device, const synth::Implementation& impl,
           "experiment.modeled_seconds",
           {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0})) {
   obs::Span setupSpan{"setup", {{"device", dev_.spec().name}}};
+  port_.setCacheEnabled(opt_.sessionFrameCache);
   // One-time download of the configuration file (Figure 1).
   port_.writeFullBitstream(impl_.bitstream);
   setupSeconds_ = opt_.link.seconds(port_.meter());
@@ -238,12 +239,13 @@ void FadesTool::inject(ActiveFault& fault, Rng& rng, double durationCycles) {
           const std::pair<CbField, bool> set[] = {{CbField::SrMode, !state},
                                                   {CbField::InvLsr, true}};
           port_.updateCbFields(fault.cb, set);
-          dev_.settle();
+          port_.settle();
           // Deassert the LSR and put SrMode back in one pass.
           const std::pair<CbField, bool> clr[] = {
               {CbField::InvLsr, false},
               {CbField::SrMode, impl_.flops[fault.target].init}};
           port_.updateCbFieldsBlind(fault.cb, clr);
+          port_.endSession();
         } else {
           // GSR path: read back ALL flip-flop states, configure every FF's
           // set/reset mux to reproduce its state (target inverted), pulse
@@ -267,6 +269,7 @@ void FadesTool::inject(ActiveFault& fault, Rng& rng, double durationCycles) {
           port_.setLogicBits(setBits);
           port_.pulseGsr();
           port_.setLogicBitsBlind(restoreBits);
+          port_.endSession();
           dev_.settle();
         }
         fault.needsRemoval = false;  // bit-flips persist until rewritten
@@ -278,6 +281,7 @@ void FadesTool::inject(ActiveFault& fault, Rng& rng, double durationCycles) {
         port_.beginSession();
         const bool v = port_.getBramBit(block, bit);
         port_.setBramBit(block, bit, !v);
+        port_.endSession();
         fault.needsRemoval = false;
       }
       break;
@@ -293,7 +297,7 @@ void FadesTool::inject(ActiveFault& fault, Rng& rng, double durationCycles) {
         const unsigned line =
             static_cast<unsigned>(rng.below(circuit.candidateLineCount()));
         port_.setLutTable(fault.cb, circuit.tableWithFaultedLine(line));
-        dev_.settle();
+        port_.settle();
         fault.needsRemoval = true;
       } else {
         // CB input through its inverter multiplexer (Figure 6).
@@ -301,7 +305,7 @@ void FadesTool::inject(ActiveFault& fault, Rng& rng, double durationCycles) {
         port_.beginSession();
         const std::pair<CbField, bool> set[] = {{CbField::InvByp, true}};
         port_.updateCbFields(fault.cb, set);
-        dev_.settle();
+        port_.settle();
         fault.needsRemoval = true;
       }
       (void)durationCycles;
@@ -544,13 +548,14 @@ void FadesTool::inject(ActiveFault& fault, Rng& rng, double durationCycles) {
         // Replicates the paper's JBits/driver limitation: the whole
         // configuration file is transferred even for a handful of bits.
         for (const auto& [bit, v] : changes) dev_.setLogicBit(bit, v);
+        port_.invalidate();  // logic plane changed behind the port's back
         port_.chargeFullImage();
       } else {
         std::vector<std::pair<std::size_t, bool>> updates(changes.begin(),
                                                           changes.end());
         port_.setLogicBits(updates);
       }
-      dev_.settle();
+      port_.settle();
       for (const auto& [bit, v] : changes) {
         fault.restoreBits.emplace_back(bit, !v);
       }
@@ -567,7 +572,7 @@ void FadesTool::inject(ActiveFault& fault, Rng& rng, double durationCycles) {
         const std::pair<CbField, bool> set[] = {
             {CbField::SrMode, fault.indetValue}, {CbField::InvLsr, true}};
         port_.updateCbFieldsBlind(fault.cb, set);
-        dev_.settle();
+        port_.settle();
         fault.needsRemoval = true;
       } else {
         fault.cb = impl_.luts[fault.target].cb;
@@ -575,7 +580,7 @@ void FadesTool::inject(ActiveFault& fault, Rng& rng, double durationCycles) {
         port_.beginSession();
         port_.setLutTableBlind(
             fault.cb, static_cast<std::uint16_t>(rng.below(0x10000)));
-        dev_.settle();
+        port_.settle();
         fault.needsRemoval = true;
       }
       break;
@@ -595,7 +600,7 @@ void FadesTool::oscillate(ActiveFault& fault, Rng& rng) {
     port_.setLutTableBlind(fault.cb,
                            static_cast<std::uint16_t>(rng.below(0x10000)));
   }
-  dev_.settle();
+  port_.settle();
 }
 
 void FadesTool::remove(ActiveFault& fault) {
@@ -623,6 +628,7 @@ void FadesTool::remove(ActiveFault& fault) {
         for (const auto& [bit, v] : fault.restoreBits) {
           dev_.setLogicBit(bit, v);
         }
+        port_.invalidate();  // logic plane changed behind the port's back
         port_.chargeFullImage();
       } else {
         port_.setLogicBits(fault.restoreBits);
@@ -646,6 +652,7 @@ void FadesTool::remove(ActiveFault& fault) {
     case FaultModel::BitFlip:
       break;  // persists until rewritten
   }
+  port_.endSession();
   dev_.settle();
   fault.needsRemoval = false;
 }
@@ -909,6 +916,7 @@ Outcome FadesTool::runMultipleBitFlipExperiment(
   port_.setLogicBits(setBits);
   port_.pulseGsr();
   port_.setLogicBitsBlind(restoreBits);
+  port_.endSession();
   dev_.settle();
 
   Observation faulty;

@@ -153,6 +153,7 @@ Outcome PermanentFaults::runExperiment(PermanentFaultModel model,
       break;
     }
   }
+  port.endSession();  // land the defect before evaluating the fabric
   try {
     dev.settle();
   } catch (const common::FadesError&) {
@@ -191,6 +192,7 @@ Outcome PermanentFaults::runExperiment(PermanentFaultModel model,
   port.beginSession();
   if (isLutStuck) port.setLutTableBlind(lutCb, originalTable);
   if (!restoreBits.empty()) port.setLogicBitsBlind(restoreBits);
+  port.endSession();
   if (usedShortPolicy) dev.setShortPolicy(fpga::ShortPolicy::Error);
   dev.settle();
 

@@ -51,11 +51,19 @@ void Device::setLogicBit(std::size_t addr, bool v) {
 }
 
 std::vector<std::uint8_t> Device::readLogicFrame(FrameAddr f) const {
+  std::vector<std::uint8_t> bytes(spec_.frameBytes, 0);
+  readLogicFrameInto(f, bytes);
+  return bytes;
+}
+
+void Device::readLogicFrameInto(FrameAddr f,
+                                std::span<std::uint8_t> out) const {
+  require(out.size() >= spec_.frameBytes, ErrorKind::ConfigError,
+          "short logic frame buffer");
   const std::size_t first = layout_.logicFrameFirstBit(f);
   const unsigned n = layout_.logicFrameBitCount(f);
-  auto bytes = logicCfg_.exportBytes(first, n);
-  bytes.resize(spec_.frameBytes, 0);
-  return bytes;
+  logicCfg_.exportBytesInto(first, n, out);
+  std::fill(out.begin() + (n + 7) / 8, out.begin() + spec_.frameBytes, 0);
 }
 
 void Device::writeLogicFrame(FrameAddr f, std::span<const std::uint8_t> bytes) {
@@ -71,17 +79,25 @@ void Device::writeLogicFrame(FrameAddr f, std::span<const std::uint8_t> bytes) {
 
 std::vector<std::uint8_t> Device::readBramFrame(unsigned block,
                                                 unsigned minor) const {
+  std::vector<std::uint8_t> bytes(spec_.frameBytes, 0);
+  readBramFrameInto(block, minor, bytes);
+  return bytes;
+}
+
+void Device::readBramFrameInto(unsigned block, unsigned minor,
+                               std::span<std::uint8_t> out) const {
   require(block < spec_.memBlocks && minor < layout_.bramFramesPerBlock(),
           ErrorKind::ConfigError, "bad bram frame address");
+  require(out.size() >= spec_.frameBytes, ErrorKind::ConfigError,
+          "short bram frame buffer");
   const std::size_t first = std::size_t{block} * spec_.memBlockBits +
                             std::size_t{minor} * layout_.frameBits();
   const std::size_t n =
       std::min<std::size_t>(layout_.frameBits(),
                             std::size_t{spec_.memBlockBits} -
                                 std::size_t{minor} * layout_.frameBits());
-  auto bytes = bramCfg_.exportBytes(first, n);
-  bytes.resize(spec_.frameBytes, 0);
-  return bytes;
+  bramCfg_.exportBytesInto(first, n, out);
+  std::fill(out.begin() + (n + 7) / 8, out.begin() + spec_.frameBytes, 0);
 }
 
 void Device::writeBramFrame(unsigned block, unsigned minor,
@@ -100,16 +116,24 @@ void Device::writeBramFrame(unsigned block, unsigned minor,
 }
 
 std::vector<std::uint8_t> Device::readCaptureFrame(unsigned col) const {
+  std::vector<std::uint8_t> bytes(spec_.frameBytes, 0);
+  readCaptureFrameInto(col, bytes);
+  return bytes;
+}
+
+void Device::readCaptureFrameInto(unsigned col,
+                                  std::span<std::uint8_t> out) const {
   require(col < spec_.cols, ErrorKind::ConfigError,
           "bad capture frame column");
-  std::vector<std::uint8_t> bytes(spec_.frameBytes, 0);
+  require(out.size() >= spec_.frameBytes, ErrorKind::ConfigError,
+          "short capture frame buffer");
+  std::fill(out.begin(), out.begin() + spec_.frameBytes, 0);
   for (unsigned y = 0; y < spec_.rows; ++y) {
     if (ffState_[cbIndex(CbCoord{static_cast<std::uint16_t>(col),
                                  static_cast<std::uint16_t>(y)})]) {
-      bytes[y >> 3] |= static_cast<std::uint8_t>(1u << (y & 7));
+      out[y >> 3] |= static_cast<std::uint8_t>(1u << (y & 7));
     }
   }
-  return bytes;
 }
 
 void Device::writeFullBitstream(const Bitstream& bs) {

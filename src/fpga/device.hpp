@@ -108,6 +108,15 @@ class Device {
   /// Capture plane: live FF state of one CB column (read-only).
   std::vector<std::uint8_t> readCaptureFrame(unsigned col) const;
 
+  // Allocation-free frame reads: fill exactly spec().frameBytes bytes of
+  // `out` (frame payload, zero-padded). The vector overloads above wrap
+  // these; the ConfigPort shadow cache reads through them so the campaign
+  // hot loop carries no per-operation heap traffic.
+  void readLogicFrameInto(FrameAddr f, std::span<std::uint8_t> out) const;
+  void readBramFrameInto(unsigned block, unsigned minor,
+                         std::span<std::uint8_t> out) const;
+  void readCaptureFrameInto(unsigned col, std::span<std::uint8_t> out) const;
+
   void writeFullBitstream(const Bitstream& bs);
   Bitstream readbackBitstream() const;
 

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace fades::obs {
 
@@ -13,6 +14,13 @@ Histogram::Histogram(std::vector<double> upperBounds)
 }
 
 void Histogram::observe(double value) noexcept {
+  if (std::isnan(value)) {
+    // Drop, don't bucket: lower_bound would put a NaN in the FIRST bucket
+    // (every comparison is false) and the CAS below would poison `sum`.
+    nanCount_.fetch_add(1, std::memory_order_relaxed);
+    if (nanCounter_ != nullptr) nanCounter_->inc();
+    return;
+  }
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
@@ -38,6 +46,7 @@ void Histogram::reset() noexcept {
     buckets_[i].store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
+  nanCount_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
@@ -64,7 +73,14 @@ Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> upperBounds) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>(std::move(upperBounds));
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(upperBounds));
+    // Find-or-create the shared NaN counter inline: calling counter() here
+    // would re-lock the (non-recursive) registry mutex.
+    auto& nanSlot = counters_["obs.histogram_nan_dropped"];
+    if (!nanSlot) nanSlot = std::make_unique<Counter>();
+    slot->setNanCounter(nanSlot.get());
+  }
   return *slot;
 }
 
@@ -84,6 +100,7 @@ Json Registry::snapshotJson() const {
     entry.set("bounds", std::move(bounds));
     entry.set("counts", std::move(buckets));
     entry.set("count", h->count());
+    entry.set("nan_dropped", h->nanCount());
     entry.set("sum", h->sum());
     histograms.set(name, std::move(entry));
   }

@@ -51,6 +51,14 @@ class Gauge {
 /// Fixed-bucket histogram with `le` (less-or-equal) bucket semantics: an
 /// observation lands in the first bucket whose upper bound is >= the value;
 /// values above the last bound go to the implicit overflow bucket.
+///
+/// NaN policy: NaN observations are DROPPED, never bucketed. (With
+/// std::lower_bound every comparison against NaN is false, so a NaN would
+/// silently land in the first bucket and poison `sum`.) Dropped NaNs are
+/// tallied per-histogram (nanCount(), surfaced as "nan_dropped" in the JSON
+/// snapshot) and in the process-wide "obs.histogram_nan_dropped" counter for
+/// registry-created histograms, so a producer emitting NaNs is visible
+/// instead of silently skewing the distribution.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upperBounds);
@@ -64,13 +72,22 @@ class Histogram {
     return count_.load(std::memory_order_relaxed);
   }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// NaN observations dropped (not part of count()).
+  std::uint64_t nanCount() const {
+    return nanCount_.load(std::memory_order_relaxed);
+  }
+  /// Process-wide counter bumped alongside the per-histogram NaN tally;
+  /// wired by the registry (may be null for standalone histograms).
+  void setNanCounter(Counter* c) noexcept { nanCounter_ = c; }
   void reset() noexcept;
 
  private:
   std::vector<double> bounds_;  // ascending
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+overflow
   std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> nanCount_{0};
   std::atomic<double> sum_{0.0};
+  Counter* nanCounter_ = nullptr;
 };
 
 class Registry {

@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "bits/config_port.hpp"
+#include "common/error.hpp"
+#include "core/fades.hpp"
 #include "fpga/device.hpp"
+#include "rtl/builder.hpp"
+#include "synth/implement.hpp"
 
 namespace fades::bits {
 namespace {
@@ -132,6 +138,325 @@ TEST(ConfigPort, ReadFfStateViaCapturePlane) {
   EXPECT_TRUE(port.readFfState(cb));
   EXPECT_GE(port.meter().captureOps, 1u);
 }
+
+// --- session-scoped frame transaction cache -------------------------------
+
+TEST(ConfigPortCache, ShadowDefersWritesUntilSessionEnd) {
+  Device dev(DeviceSpec::small());
+  ConfigPort port(dev);
+  port.setCacheEnabled(true);
+  const CbCoord cb{4, 4};
+  const std::uint16_t before = port.getLutTable(cb);
+
+  port.beginSession();
+  port.setLutTable(cb, 0xBEEF);
+  // The write is held in the shadow: the device image is still pristine,
+  // but reads through the port see the pending value.
+  EXPECT_EQ(dev.logicBit(dev.layout().cbLutBit(cb, 0)), before & 1u);
+  EXPECT_EQ(port.getLutTable(cb), 0xBEEF);
+  port.endSession();
+  // Coalesced write-back landed the frame on the device.
+  EXPECT_EQ(port.getLutTable(cb), 0xBEEF);
+  port.setCacheEnabled(false);
+  EXPECT_EQ(port.getLutTable(cb), 0xBEEF);
+}
+
+TEST(ConfigPortCache, MeterIdenticalWithAndWithoutCache) {
+  // The cache must never change metered traffic: run the same logical
+  // operation sequence against two devices and compare every meter field.
+  Device devA(DeviceSpec::small());
+  Device devB(DeviceSpec::small());
+  ConfigPort cached(devA);
+  ConfigPort plain(devB);
+  cached.setCacheEnabled(true);
+
+  auto drive = [](ConfigPort& port) {
+    port.beginSession();
+    port.setLutTable(CbCoord{2, 3}, 0x1234);
+    (void)port.getLutTable(CbCoord{2, 3});
+    port.setCbFieldBit(CbCoord{2, 3}, CbField::FfUsed, true);
+    (void)port.getCbFieldBit(CbCoord{2, 3}, CbField::SrMode);
+    (void)port.readCaptureFrame(1);
+    (void)port.readCaptureFrame(1);
+    port.setBramBit(0, 17, true);
+    (void)port.getBramBit(0, 17);
+    port.pulseGsr();
+    port.endSession();
+  };
+  drive(cached);
+  drive(plain);
+
+  const TransferMeter& a = cached.meter();
+  const TransferMeter& b = plain.meter();
+  EXPECT_EQ(a.bytesToDevice, b.bytesToDevice);
+  EXPECT_EQ(a.bytesFromDevice, b.bytesFromDevice);
+  EXPECT_EQ(a.writeOps, b.writeOps);
+  EXPECT_EQ(a.readOps, b.readOps);
+  EXPECT_EQ(a.captureOps, b.captureOps);
+  EXPECT_EQ(a.commandOps, b.commandOps);
+  EXPECT_EQ(a.sessions, b.sessions);
+  // And the devices ended up in the same configuration.
+  EXPECT_TRUE(devA.readbackBitstream().logic == devB.readbackBitstream().logic);
+  EXPECT_TRUE(devA.readbackBitstream().bram == devB.readbackBitstream().bram);
+}
+
+TEST(ConfigPortCache, RepeatedReadsHitTheShadow) {
+  Device dev(DeviceSpec::small());
+  ConfigPort port(dev);
+  port.setCacheEnabled(true);
+  auto& hits = obs::Registry::global().counter("config.cache_hits");
+  auto& flushed =
+      obs::Registry::global().counter("config.cache_frames_flushed");
+  const auto hits0 = hits.value();
+  const auto flushed0 = flushed.value();
+
+  port.beginSession();
+  const FrameAddr f{Plane::Logic, 2, 0};
+  (void)port.readLogicFrame(f);           // miss: populates the shadow
+  (void)port.readLogicFrame(f);           // hit
+  auto bytes = port.readLogicFrame(f);    // hit
+  bytes[0] ^= 0xFF;
+  port.writeLogicFrame(f, bytes);         // dirties the shadow
+  port.endSession();                      // one coalesced flush
+
+  EXPECT_EQ(hits.value() - hits0, 2u);
+  EXPECT_EQ(flushed.value() - flushed0, 1u);
+  // All three reads and the write were still metered individually.
+  EXPECT_EQ(port.meter().readOps, 3u);
+  EXPECT_EQ(port.meter().writeOps, 1u);
+}
+
+TEST(ConfigPortCache, BlindWritesSeePendingShadowFrames) {
+  // A blind write works from the host mirror; with a transaction open the
+  // mirror must include pending (unflushed) shadow writes of the same frame
+  // or the blind RMW would resurrect stale bits.
+  Device dev(DeviceSpec::small());
+  ConfigPort port(dev);
+  port.setCacheEnabled(true);
+  const CbCoord cb{3, 3};
+  const std::size_t bitA = dev.layout().cbFieldBit(cb, CbField::FfUsed);
+  const std::size_t bitB = dev.layout().cbFieldBit(cb, CbField::LutUsed);
+
+  port.beginSession();
+  port.setLogicBit(bitA, true);  // pending in the shadow
+  const std::pair<std::size_t, bool> blind[] = {{bitB, true}};
+  port.setLogicBitsBlind(blind);  // same frame, blind path
+  port.endSession();
+  EXPECT_TRUE(dev.logicBit(bitA));
+  EXPECT_TRUE(dev.logicBit(bitB));
+}
+
+TEST(ConfigPortCache, PulseGsrFlushesPendingWritesFirst) {
+  Device dev(DeviceSpec::small());
+  ConfigPort port(dev);
+  port.setCacheEnabled(true);
+  const CbCoord cb{5, 6};
+  port.beginSession();
+  port.setCbFieldBit(cb, CbField::FfUsed, true);
+  port.setCbFieldBit(cb, CbField::SrMode, true);
+  // The pulse must observe the SrMode write even though it is still only
+  // in the shadow when pulseGsr() is called.
+  port.pulseGsr();
+  port.endSession();
+  EXPECT_TRUE(port.readFfState(cb));
+}
+
+// --- cache equivalence across the FADES injectors -------------------------
+//
+// For every fault model, a campaign run with the session cache ON must be
+// indistinguishable from one with it OFF: same outcomes, bit-identical
+// modeled seconds, identical transfer meters and identical final device
+// configuration. The cache is a host-side wall-clock optimization only.
+
+namespace equiv {
+
+using campaign::CampaignSpec;
+using campaign::FaultModel;
+using campaign::TargetClass;
+using core::FadesOptions;
+using core::FadesTool;
+using netlist::Unit;
+
+/// Small multi-unit design: 8-bit LFSR, 4-bit counter, adder, RAM log.
+struct CacheDesign {
+  netlist::Netlist nl;
+  synth::Implementation impl;
+  std::uint64_t cycles = 48;
+
+  static netlist::Netlist build() {
+    rtl::Builder b;
+    b.setUnit(Unit::Registers);
+    rtl::Register lfsr = b.makeRegister("lfsr", 8, 1);
+    b.setUnit(Unit::Fsm);
+    rtl::Register cnt = b.makeRegister("cnt", 4, 0);
+    b.setUnit(Unit::Registers);
+    auto fb = b.lxor(lfsr.q[7],
+                     b.lxor(lfsr.q[5], b.lxor(lfsr.q[4], lfsr.q[3])));
+    rtl::Bus next{fb};
+    for (int i = 0; i < 7; ++i) next.push_back(lfsr.q[i]);
+    b.connect(lfsr, next);
+    b.setUnit(Unit::Fsm);
+    b.connect(cnt, b.increment(cnt.q));
+    b.setUnit(Unit::Alu);
+    auto sum = b.add(lfsr.q, b.zeroExtend(cnt.q, 8), {});
+    b.setUnit(Unit::Ram);
+    b.ram("log", 4, 8, cnt.q, lfsr.q, b.one());
+    b.output("out", sum.sum);
+    return b.finish();
+  }
+
+  CacheDesign()
+      : nl(build()), impl(synth::implement(nl, fpga::DeviceSpec::small())) {}
+
+  static const CacheDesign& instance() {
+    static CacheDesign d;
+    return d;
+  }
+};
+
+FadesOptions baseOptions() {
+  FadesOptions o;
+  o.observedOutputs = {"out"};
+  o.keepRecords = true;
+  return o;
+}
+
+void expectCacheEquivalence(FadesOptions base, FaultModel model,
+                            TargetClass cls, Unit unit,
+                            unsigned experiments = 5) {
+  const auto& d = CacheDesign::instance();
+  FadesOptions onOpts = base;
+  onOpts.sessionFrameCache = true;
+  FadesOptions offOpts = base;
+  offOpts.sessionFrameCache = false;
+  fpga::Device devOn(d.impl.spec);
+  fpga::Device devOff(d.impl.spec);
+  FadesTool toolOn(devOn, d.impl, d.cycles, onOpts);
+  FadesTool toolOff(devOff, d.impl, d.cycles, offOpts);
+
+  CampaignSpec spec;
+  spec.model = model;
+  spec.targets = cls;
+  spec.unit = static_cast<int>(unit);
+  spec.seed = 7;
+  spec.experiments = experiments;
+  const auto poolOn = toolOn.campaignPool(spec);
+  const auto poolOff = toolOff.campaignPool(spec);
+  ASSERT_EQ(poolOn, poolOff);
+
+  for (unsigned e = 0; e < experiments; ++e) {
+    const auto a = toolOn.runCampaignExperiment(spec, poolOn, e);
+    const auto b = toolOff.runCampaignExperiment(spec, poolOff, e);
+    SCOPED_TRACE("experiment " + std::to_string(e));
+    EXPECT_EQ(a.outcome, b.outcome);
+    // Bit-identical, not approximately equal: the meters match exactly, so
+    // the derived seconds must too.
+    EXPECT_EQ(a.modeledSeconds, b.modeledSeconds);
+    EXPECT_EQ(a.configSeconds, b.configSeconds);
+    EXPECT_EQ(a.workloadSeconds, b.workloadSeconds);
+    EXPECT_EQ(a.bytesToDevice, b.bytesToDevice);
+    EXPECT_EQ(a.bytesFromDevice, b.bytesFromDevice);
+    EXPECT_EQ(a.sessions, b.sessions);
+    ASSERT_EQ(a.hasRecord, b.hasRecord);
+    if (a.hasRecord) {
+      EXPECT_EQ(a.record.targetName, b.record.targetName);
+      EXPECT_EQ(a.record.injectCycle, b.record.injectCycle);
+      EXPECT_EQ(a.record.durationCycles, b.record.durationCycles);
+      EXPECT_EQ(a.record.outcome, b.record.outcome);
+    }
+    // The devices must leave every experiment in identical configuration:
+    // the coalesced write-back produced the same image as the uncached
+    // frame-by-frame RMW sequence.
+    const auto bsOn = devOn.readbackBitstream();
+    const auto bsOff = devOff.readbackBitstream();
+    EXPECT_TRUE(bsOn.logic == bsOff.logic);
+    EXPECT_TRUE(bsOn.bram == bsOff.bram);
+  }
+
+  // Op-level transfer meters, field for field, on a fixed experiment.
+  common::Rng rngOn(99), rngOff(99);
+  double secOn = 0, secOff = 0;
+  TransferMeter mOn, mOff;
+  bool threwOn = false, threwOff = false;
+  campaign::Outcome oOn{}, oOff{};
+  try {
+    oOn = toolOn.runExperiment(model, cls, poolOn[0], 5, 2.0, rngOn, &secOn,
+                               &mOn);
+  } catch (const common::FadesError&) {
+    threwOn = true;
+  }
+  try {
+    oOff = toolOff.runExperiment(model, cls, poolOff[0], 5, 2.0, rngOff,
+                                 &secOff, &mOff);
+  } catch (const common::FadesError&) {
+    threwOff = true;
+  }
+  ASSERT_EQ(threwOn, threwOff);
+  if (!threwOn) {
+    EXPECT_EQ(oOn, oOff);
+    EXPECT_EQ(secOn, secOff);
+    EXPECT_EQ(mOn.bytesToDevice, mOff.bytesToDevice);
+    EXPECT_EQ(mOn.bytesFromDevice, mOff.bytesFromDevice);
+    EXPECT_EQ(mOn.writeOps, mOff.writeOps);
+    EXPECT_EQ(mOn.readOps, mOff.readOps);
+    EXPECT_EQ(mOn.captureOps, mOff.captureOps);
+    EXPECT_EQ(mOn.commandOps, mOff.commandOps);
+    EXPECT_EQ(mOn.sessions, mOff.sessions);
+  }
+}
+
+TEST(CacheEquivalence, BitFlipFlopLsr) {
+  expectCacheEquivalence(baseOptions(), FaultModel::BitFlip,
+                         TargetClass::SequentialFF, Unit::Registers);
+}
+
+TEST(CacheEquivalence, BitFlipFlopGsr) {
+  auto o = baseOptions();
+  o.bitFlipVia = core::BitFlipVia::Gsr;
+  expectCacheEquivalence(o, FaultModel::BitFlip, TargetClass::SequentialFF,
+                         Unit::Registers);
+}
+
+TEST(CacheEquivalence, BitFlipMemory) {
+  expectCacheEquivalence(baseOptions(), FaultModel::BitFlip,
+                         TargetClass::MemoryBlockBit, Unit::Ram);
+}
+
+TEST(CacheEquivalence, PulseLut) {
+  expectCacheEquivalence(baseOptions(), FaultModel::Pulse,
+                         TargetClass::CombinationalLut, Unit::Alu);
+}
+
+TEST(CacheEquivalence, PulseCbInput) {
+  expectCacheEquivalence(baseOptions(), FaultModel::Pulse,
+                         TargetClass::CbInputLine, Unit::None);
+}
+
+TEST(CacheEquivalence, DelayFullDownload) {
+  expectCacheEquivalence(baseOptions(), FaultModel::Delay,
+                         TargetClass::CombinationalLine, Unit::None, 3);
+}
+
+TEST(CacheEquivalence, DelayPartialFrames) {
+  auto o = baseOptions();
+  o.fullDownloadForDelay = false;
+  expectCacheEquivalence(o, FaultModel::Delay, TargetClass::SequentialLine,
+                         Unit::None, 3);
+}
+
+TEST(CacheEquivalence, IndeterminationFlop) {
+  expectCacheEquivalence(baseOptions(), FaultModel::Indetermination,
+                         TargetClass::SequentialFF, Unit::Registers);
+}
+
+TEST(CacheEquivalence, IndeterminationLutOscillating) {
+  auto o = baseOptions();
+  o.oscillatingIndetermination = true;
+  expectCacheEquivalence(o, FaultModel::Indetermination,
+                         TargetClass::CombinationalLut, Unit::Alu);
+}
+
+}  // namespace equiv
 
 }  // namespace
 }  // namespace fades::bits

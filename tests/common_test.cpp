@@ -236,5 +236,26 @@ TEST(Stats, RenderTableAligns) {
   EXPECT_NE(t.find("| xx | y    |"), std::string::npos);
 }
 
+TEST(Stats, FixedHandlesValuesWiderThanStackBuffer) {
+  // 1e300 at 3 decimals is 305 characters - far past the 64-byte snprintf
+  // buffer; the result must be the full rendering, not a truncation.
+  const std::string s = fixed(1e300, 3);
+  EXPECT_EQ(s.size(), 305u);
+  EXPECT_EQ(s.front(), '1');
+  EXPECT_EQ(s.substr(s.size() - 4), ".000");
+  EXPECT_EQ(fixed(-1e300, 0).size(), 302u);
+  EXPECT_EQ(fixed(2.5, 1), "2.5");  // narrow path unchanged
+}
+
+TEST(Stats, RenderTableKeepsExtraRowCells) {
+  // Rows wider than the header must keep their extra cells and size the
+  // extra columns to the widest cell, not silently drop them.
+  const auto t = renderTable({"a"}, {{"x", "wide-cell"}, {"y"}});
+  EXPECT_NE(t.find("wide-cell"), std::string::npos);
+  EXPECT_NE(t.find("| x | wide-cell |"), std::string::npos);
+  EXPECT_NE(t.find("| y |           |"), std::string::npos);
+  EXPECT_NE(t.find("| a |           |"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace fades::common

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -147,6 +148,35 @@ TEST(Metrics, HistogramBucketBoundaries) {
 TEST(Metrics, HistogramSortsAndDedupesBounds) {
   Histogram h({5.0, 1.0, 5.0, 2.0});
   EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0, 5.0}));
+}
+
+TEST(Metrics, HistogramDropsNaNObservations) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);  // the NaN did NOT land in the first bucket
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(h.count(), 1u);     // dropped observations are not counted
+  EXPECT_EQ(h.nanCount(), 1u);  // ...but tallied separately
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5);  // sum is not poisoned to NaN
+  h.reset();
+  EXPECT_EQ(h.nanCount(), 0u);
+}
+
+TEST(Metrics, RegistryWiresHistogramNanCounter) {
+  Registry reg;
+  Histogram& h = reg.histogram("h.nan", {1.0});
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(0.5);
+  EXPECT_EQ(reg.counter("obs.histogram_nan_dropped").value(), 1u);
+  const Json snap = reg.snapshotJson();
+  const Json* hist = snap.find("histograms")->find("h.nan");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("nan_dropped")->asInt(), 1);
+  EXPECT_EQ(hist->find("count")->asInt(), 1);
 }
 
 TEST(Metrics, RegistryFindOrCreateKeepsIdentity) {
