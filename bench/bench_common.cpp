@@ -156,7 +156,15 @@ std::string toolFingerprint(core::FadesTool& tool) {
                    std::to_string(o.sessionFrameCache) + "/" +
                    std::to_string(o.fpgaClockHz) + "/" +
                    std::to_string(o.hostPerExperimentSeconds) + "/" +
-                   std::to_string(o.checkpointInterval);
+                   std::to_string(o.checkpointInterval) + "/" +
+                   std::to_string(o.linkFaults.readCrcRate) + "," +
+                   std::to_string(o.linkFaults.writeFailRate) + "," +
+                   std::to_string(o.linkFaults.timeoutRate) + "/" +
+                   std::to_string(o.linkRetry.maxRetries) + "," +
+                   std::to_string(o.linkRetry.backoffBaseSeconds) + "," +
+                   std::to_string(o.linkRetry.backoffFactor) + "," +
+                   std::to_string(o.linkRetry.backoffCapSeconds) + "/" +
+                   std::to_string(o.experimentAttempts);
   for (const auto& out : o.observedOutputs) fp += "," + out;
   return fp;
 }
@@ -185,6 +193,7 @@ campaign::CampaignResult runCampaign(core::FadesTool& tool,
     campaign::ParallelOptions popt;
     popt.jobs = n;
     popt.progressInterval = tool.options().progressInterval;
+    popt.experimentAttempts = tool.options().experimentAttempts;
     cached.impl = &tool.implementation();
     cached.fingerprint = fp;
     cached.runner = std::make_unique<campaign::ParallelCampaignRunner>(

@@ -3,32 +3,51 @@
 // set-up tool (Figure 9).
 //
 // Usage:
-//   campaign_8051 [--jobs N] [--no-cache] [model] [targets] [unit] [faults]
-//                 [band] [artifact.json]
+//   campaign_8051 [--jobs N|auto] [--no-cache] [--link-faults R]
+//                 [--checkpoint FILE] [--resume] [--fsync]
+//                 [model] [targets] [unit] [faults] [band] [artifact.json]
 //     --jobs N shard the campaign across N worker threads, each with its
-//              own device replica (0 = one per hardware thread; env
+//              own device replica ("auto" = one per hardware thread; env
 //              FADES_JOBS is the fallback; default 1). Changes wall-clock
 //              only: outcomes, records, modeled times and the written
 //              artifact are bit-identical for every N.
 //     --no-cache disable the session-scoped frame transaction cache in the
 //              configuration port. Like --jobs this changes wall-clock
 //              only; the artifact stays bit-identical either way.
+//     --link-faults R emulate an unreliable board link: each transfer hits
+//              a readback CRC mismatch / transient write failure with
+//              probability R (and a timeout with R/10), retried with
+//              bounded exponential backoff. Deterministic per campaign
+//              seed, and the artifact stays byte-identical to a fault-free
+//              run (persistent failures quarantine the experiment).
+//     --checkpoint FILE append every completed experiment to a crash-safe
+//              JSONL journal; with --resume, journaled experiments are
+//              folded back in instead of re-run, producing an artifact
+//              byte-identical to an uninterrupted run.
+//     --resume requires --checkpoint; tolerates a torn trailing journal
+//              line from a killed run.
+//     --fsync  fsync the journal after every record (power-loss
+//              durability; default flushes to the OS only).
 //     model    bitflip | pulse | delay | indet        (default bitflip)
 //     targets  ff | memory | lut | seqline | combline  (default ff)
 //     unit     any | registers | ram | alu | mem | fsm (default any)
-//     faults   experiment count                        (default 200)
+//     faults   experiment count, > 0                   (default 200)
 //     band     sub | short | long                      (default short)
 //     artifact write a fades.run/1 JSON (or .jsonl) run artifact here,
 //              with one record per experiment
 //
 // Example: ./build/examples/campaign_8051 --jobs 8 pulse lut alu 300 long
 //          run.json
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "campaign/artifact.hpp"
+#include "campaign/journal.hpp"
 #include "campaign/parallel.hpp"
 #include "campaign/types.hpp"
 #include "core/fades.hpp"
@@ -39,22 +58,103 @@
 
 using namespace fades;
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: campaign_8051 [--jobs N|auto] [--no-cache] [--link-faults R]\n"
+    "                     [--checkpoint FILE] [--resume] [--fsync]\n"
+    "                     [model] [targets] [unit] [faults] [band]\n"
+    "                     [artifact.json]\n"
+    "  model   bitflip | pulse | delay | indet         (default bitflip)\n"
+    "  targets ff | memory | lut | seqline | combline  (default ff)\n"
+    "  unit    any | registers | ram | alu | mem | fsm (default any)\n"
+    "  faults  experiment count, > 0                   (default 200)\n"
+    "  band    sub | short | long                      (default short)\n";
+
+[[noreturn]] void usageError(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n%s", message.c_str(), kUsage);
+  std::exit(2);
+}
+
+/// Strict positive-integer parse: rejects empty input, non-digits, zero and
+/// overflow instead of inheriting strtoul's silent 0 / wraparound.
+unsigned parsePositive(const std::string& text, const char* what) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    usageError(std::string(what) + " expects a positive integer, got '" +
+               text + "'");
+  }
+  errno = 0;
+  const unsigned long value = std::strtoul(text.c_str(), nullptr, 10);
+  if (errno != 0 || value == 0 || value > UINT_MAX) {
+    usageError(std::string(what) + " expects a positive integer, got '" +
+               text + "'");
+  }
+  return static_cast<unsigned>(value);
+}
+
+/// Worker count: a positive integer, or "auto" for one per hardware thread.
+unsigned parseJobs(const std::string& text, const char* what) {
+  if (text == "auto") return 0;  // runner resolves 0 to hardware concurrency
+  return parsePositive(text, what);
+}
+
+double parseRate(const std::string& text, const char* what) {
+  if (text.empty()) usageError(std::string(what) + " expects a probability");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size() || !(value >= 0.0) ||
+      value >= 1.0) {
+    usageError(std::string(what) + " expects a probability in [0, 1), got '" +
+               text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  // --jobs and --no-cache may appear anywhere; everything else is positional.
+  // Flags may appear anywhere; everything else is positional.
   unsigned jobs = 1;
   bool frameCache = true;
+  double linkFaultRate = 0.0;
+  std::string checkpointPath;
+  bool resume = false;
+  bool fsyncEachRecord = false;
   if (const char* env = std::getenv("FADES_JOBS")) {
-    jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    jobs = parseJobs(env, "FADES_JOBS");
   }
   std::vector<std::string> positional;
+  auto flagValue = [&](int& i, const char* flag) {
+    if (i + 1 >= argc) usageError(std::string(flag) + " needs a value");
+    return std::string(argv[++i]);
+  };
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
-      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (std::string(argv[i]) == "--no-cache") {
+    const std::string a = argv[i];
+    if (a == "--jobs") {
+      jobs = parseJobs(flagValue(i, "--jobs"), "--jobs");
+    } else if (a == "--no-cache") {
       frameCache = false;
+    } else if (a == "--link-faults") {
+      linkFaultRate = parseRate(flagValue(i, "--link-faults"), "--link-faults");
+    } else if (a == "--checkpoint") {
+      checkpointPath = flagValue(i, "--checkpoint");
+    } else if (a == "--resume") {
+      resume = true;
+    } else if (a == "--fsync") {
+      fsyncEachRecord = true;
+    } else if (!a.empty() && a[0] == '-') {
+      usageError("unknown flag '" + a + "'");
     } else {
-      positional.emplace_back(argv[i]);
+      positional.push_back(a);
     }
+  }
+  if (resume && checkpointPath.empty()) {
+    usageError("--resume requires --checkpoint FILE");
+  }
+  if (positional.size() > 6) {
+    usageError("too many positional arguments");
   }
   auto arg = [&](std::size_t i, const char* def) {
     return i < positional.size() ? positional[i] : std::string(def);
@@ -62,8 +162,7 @@ int main(int argc, char** argv) {
   const std::string modelArg = arg(0, "bitflip");
   const std::string targetArg = arg(1, "ff");
   const std::string unitArg = arg(2, "any");
-  const unsigned faults =
-      static_cast<unsigned>(std::strtoul(arg(3, "200").c_str(), nullptr, 10));
+  const unsigned faults = parsePositive(arg(3, "200"), "faults");
   const std::string bandArg = arg(4, "short");
   const std::string artifactPath = arg(5, "");
 
@@ -99,6 +198,11 @@ int main(int argc, char** argv) {
   // the per-experiment records regardless so the JSON carries every row.
   options.keepRecords = faults <= 40 || !artifactPath.empty();
   options.sessionFrameCache = frameCache;
+  if (linkFaultRate > 0.0) {
+    options.linkFaults.readCrcRate = linkFaultRate;
+    options.linkFaults.writeFailRate = linkFaultRate;
+    options.linkFaults.timeoutRate = linkFaultRate / 10.0;
+  }
 
   // Both jobs paths run every experiment through the same stateless
   // per-index derivation, so the runner yields bit-identical results for
@@ -106,6 +210,14 @@ int main(int argc, char** argv) {
   campaign::ParallelOptions popt;
   popt.jobs = jobs;
   popt.progressInterval = options.progressInterval;
+  std::unique_ptr<campaign::CampaignJournal> journal;
+  if (!checkpointPath.empty()) {
+    journal = std::make_unique<campaign::CampaignJournal>(
+        checkpointPath, fsyncEachRecord ? campaign::FsyncPolicy::EachRecord
+                                        : campaign::FsyncPolicy::Never);
+    popt.journal = journal.get();
+    popt.resume = resume;
+  }
   campaign::ParallelCampaignRunner runner(
       core::fadesEngineFactory(impl, workload.cycles, options), popt);
 
@@ -127,6 +239,16 @@ int main(int argc, char** argv) {
   std::printf("  modeled emulation time: %.3f s/fault (total %.0f s for the "
               "campaign)\n",
               result.modeledSeconds.mean(), result.modeledSeconds.sum());
+  if (!result.quarantined.empty()) {
+    std::printf("  quarantined: %zu experiment(s) after persistent transient "
+                "errors:\n",
+                result.quarantined.size());
+    for (const auto& q : result.quarantined) {
+      std::printf("    #%llu  %s (%u attempts): %s\n",
+                  static_cast<unsigned long long>(q.index),
+                  common::toString(q.kind), q.attempts, q.error.c_str());
+    }
+  }
   if (faults <= 40) {
     for (const auto& r : result.records) {
       std::printf("    cycle %5llu  %-10s  dur %5.2f  %s\n",

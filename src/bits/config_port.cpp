@@ -16,6 +16,44 @@ using fpga::Plane;
 // Frame transaction shadow
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Unreliable-link model
+// ---------------------------------------------------------------------------
+
+void ConfigPort::linkTransfer(LinkOp op, std::uint64_t bytes) {
+  // One uniform01 draw per attempt from the dedicated link stream. The
+  // experiment RNG is never touched here, and the logical operation sequence
+  // is identical with the frame cache on or off, so the draw sequence - and
+  // therefore every fault and retry - is a pure function of the seed passed
+  // to seedLinkStream().
+  const bool isRead = op == LinkOp::Read || op == LinkOp::Capture;
+  const double rate =
+      linkFaults_.timeoutRate +
+      (isRead ? linkFaults_.readCrcRate : linkFaults_.writeFailRate);
+  double backoff = retry_.backoffBaseSeconds;
+  for (unsigned attempt = 0;; ++attempt) {
+    if (linkRng_.uniform01() >= rate) return;  // attempt went through
+    ++meter_.linkFaults;
+    cLinkFaults_.inc();
+    if (attempt >= retry_.maxRetries) {
+      common::raise(ErrorKind::LinkError,
+                    std::string(isRead ? "readback CRC mismatch"
+                                       : "transient write failure") +
+                        " persisted through " +
+                        std::to_string(retry_.maxRetries) + " retries");
+    }
+    // Re-issue with backoff. The cost lands in the retry-only meter fields,
+    // which BoardLink::seconds() ignores: modeled experiment time stays
+    // bit-identical to a fault-free run.
+    ++meter_.retryOps;
+    meter_.retryBytes += bytes;
+    meter_.retryBackoffSeconds += backoff;
+    backoff = std::min(backoff * retry_.backoffFactor,
+                       retry_.backoffCapSeconds);
+    cRetries_.inc();
+  }
+}
+
 void ConfigPort::setCacheEnabled(bool on) {
   if (!on && cacheEnabled_) {
     invalidate();

@@ -14,6 +14,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "fpga/device.hpp"
 #include "obs/metrics.hpp"
 
@@ -34,6 +35,16 @@ struct TransferMeter {
   std::uint32_t commandOps = 0;  // GSR pulses and similar control packets
   std::uint32_t sessions = 0;    // reconfiguration sessions (driver round-trips)
 
+  // Unreliable-link accounting. Kept separate from the logical-operation
+  // fields above so that BoardLink::seconds() - and therefore modeled
+  // seconds, outcomes and artifacts - stays bit-identical to a fault-free
+  // run. Retry overhead is observable here and in the metrics registry, not
+  // in the experiment's modeled budget.
+  std::uint32_t linkFaults = 0;       // faulted link transfer attempts
+  std::uint32_t retryOps = 0;         // re-issued transfer attempts
+  std::uint64_t retryBytes = 0;       // bytes moved by re-issued attempts
+  double retryBackoffSeconds = 0.0;   // modeled backoff sleep time
+
   void reset() { *this = TransferMeter{}; }
   TransferMeter& operator+=(const TransferMeter& o) {
     bytesToDevice += o.bytesToDevice;
@@ -43,8 +54,37 @@ struct TransferMeter {
     captureOps += o.captureOps;
     commandOps += o.commandOps;
     sessions += o.sessions;
+    linkFaults += o.linkFaults;
+    retryOps += o.retryOps;
+    retryBytes += o.retryBytes;
+    retryBackoffSeconds += o.retryBackoffSeconds;
     return *this;
   }
+};
+
+/// Deterministic unreliable-link model. Each link transfer attempt draws
+/// from a dedicated fault stream (seeded via seedLinkStream(), never the
+/// experiment RNG): reads/captures can come back with a CRC mismatch,
+/// writes/commands can fail transiently, and any operation can hit a
+/// stuck/timeout condition. Faulted attempts are retried with bounded
+/// exponential backoff per RetryPolicy; a fault surviving the whole retry
+/// budget raises common::ErrorKind::LinkError.
+struct LinkFaultOptions {
+  double readCrcRate = 0.0;   // P(readback CRC mismatch) per read/capture
+  double writeFailRate = 0.0; // P(transient write failure) per write/command
+  double timeoutRate = 0.0;   // P(stuck link / timeout) per any transfer
+  bool enabled() const {
+    return readCrcRate > 0.0 || writeFailRate > 0.0 || timeoutRate > 0.0;
+  }
+};
+
+/// Write-verify-retry policy for faulted link transfers. The backoff is
+/// modeled (charged to TransferMeter::retryBackoffSeconds), not slept.
+struct RetryPolicy {
+  unsigned maxRetries = 8;           // re-issues per operation before LinkError
+  double backoffBaseSeconds = 0.002; // first retry delay
+  double backoffFactor = 2.0;        // exponential growth per retry
+  double backoffCapSeconds = 0.250;  // bound on a single delay
 };
 
 /// Transfer-cost model for the host <-> prototyping-board link (the paper's
@@ -103,11 +143,31 @@ class ConfigPort {
         cCacheFlushed_(
             obs::Registry::global().counter("config.cache_frames_flushed")),
         cCacheEvicted_(
-            obs::Registry::global().counter("config.cache_evictions")) {}
+            obs::Registry::global().counter("config.cache_evictions")),
+        cLinkFaults_(
+            obs::Registry::global().counter("config.link_faults_injected")),
+        cRetries_(obs::Registry::global().counter("config.retries")) {}
 
   Device& device() { return dev_; }
   const TransferMeter& meter() const { return meter_; }
   void resetMeter() { meter_.reset(); }
+
+  /// Enable/disable the deterministic unreliable-link model. Rates of zero
+  /// (the default) disable it entirely; the fault-free fast path costs one
+  /// branch per operation.
+  void setLinkFaults(const LinkFaultOptions& opts) {
+    linkFaults_ = opts;
+    linkActive_ = opts.enabled();
+  }
+  const LinkFaultOptions& linkFaults() const { return linkFaults_; }
+  void setRetryPolicy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retryPolicy() const { return retry_; }
+  /// Re-seed the link fault stream. Campaign runners call this once per
+  /// (experiment index, rerun attempt) so the fault pattern an experiment
+  /// sees is a pure function of the campaign spec - independent of shard
+  /// count, execution order and the frame cache (which never changes the
+  /// logical operation sequence).
+  void seedLinkStream(std::uint64_t seed) { linkRng_ = common::Rng(seed); }
 
   /// Enable the session-scoped frame transaction cache. Disabling flushes
   /// and drops any open shadow first, so the device is always current.
@@ -135,6 +195,20 @@ class ConfigPort {
   }
   /// Alias for callers that think in commit/rollback terms.
   void commit() { endSession(); }
+
+  /// Abandon the current frame transaction WITHOUT flushing dirty frames.
+  /// Error-recovery only: after a LinkError mid-session the shadow may hold
+  /// half-applied writes that must not reach the device. The device is left
+  /// with whatever the failed session managed to write before the fault -
+  /// exactly the partial state a real flaky link produces - so callers must
+  /// re-download or rebuild the configuration before trusting it.
+  void dropSession() {
+    if (!shadow_.empty()) {
+      cCacheEvicted_.add(shadow_.size());
+      shadow_.clear();
+    }
+    inTransaction_ = false;
+  }
 
   /// Flush dirty shadow frames to the device, keeping the transaction open.
   /// Charges nothing: the logical operations that dirtied the frames were
@@ -255,26 +329,38 @@ class ConfigPort {
   /// pending shadow writes when a transaction is open.
   std::vector<std::uint8_t> mirrorLogicFrame(FrameAddr f);
 
+  // Unreliable-link attempt loop: draws from the dedicated link fault
+  // stream, charges retries to the retry-only meter fields, raises
+  // LinkError once the retry budget is spent. Called before the successful
+  // attempt is accounted, so a metered operation is always one that (after
+  // zero or more modeled retries) completed.
+  enum class LinkOp { Write, Read, Capture, Command };
+  void linkTransfer(LinkOp op, std::uint64_t bytes);
+
   // Meter + registry accounting for one operation of each class.
   void noteWrite(std::uint64_t bytes) {
+    if (linkActive_) linkTransfer(LinkOp::Write, bytes);
     ++meter_.writeOps;
     meter_.bytesToDevice += bytes;
     cWriteOps_.inc();
     cBytesWritten_.add(bytes);
   }
   void noteRead(std::uint64_t bytes) {
+    if (linkActive_) linkTransfer(LinkOp::Read, bytes);
     ++meter_.readOps;
     meter_.bytesFromDevice += bytes;
     cReadOps_.inc();
     cBytesRead_.add(bytes);
   }
   void noteCapture(std::uint64_t bytes) {
+    if (linkActive_) linkTransfer(LinkOp::Capture, bytes);
     ++meter_.captureOps;
     meter_.bytesFromDevice += bytes;
     cCaptureOps_.inc();
     cBytesRead_.add(bytes);
   }
   void noteCommand(std::uint64_t bytes) {
+    if (linkActive_) linkTransfer(LinkOp::Command, bytes);
     ++meter_.commandOps;
     meter_.bytesToDevice += bytes;
     cCommandOps_.inc();
@@ -286,6 +372,10 @@ class ConfigPort {
   bool cacheEnabled_ = false;
   bool inTransaction_ = false;
   std::map<FrameKey, ShadowFrame> shadow_;
+  bool linkActive_ = false;
+  LinkFaultOptions linkFaults_;
+  RetryPolicy retry_;
+  common::Rng linkRng_{0};
   obs::Counter& cBytesWritten_;
   obs::Counter& cBytesRead_;
   obs::Counter& cWriteOps_;
@@ -297,6 +387,8 @@ class ConfigPort {
   obs::Counter& cCacheMisses_;
   obs::Counter& cCacheFlushed_;
   obs::Counter& cCacheEvicted_;
+  obs::Counter& cLinkFaults_;
+  obs::Counter& cRetries_;
 };
 
 }  // namespace fades::bits

@@ -76,6 +76,19 @@ Json summaryJson(const CampaignResult& result) {
   seconds.set("sum", Json(result.modeledSeconds.sum()));
   j.set("modeled_seconds", seconds);
   j.set("cost", toJson(result.cost));
+  // Always present (an empty array when nothing was quarantined) so a
+  // fault-free artifact and a faulted-but-fully-recovered artifact are
+  // byte-identical.
+  Json quarantined = Json::array();
+  for (const auto& q : result.quarantined) {
+    Json entry = Json::object();
+    entry.set("index", Json(q.index));
+    entry.set("kind", Json(std::string(common::toString(q.kind))));
+    entry.set("error", Json(q.error));
+    entry.set("attempts", Json(static_cast<std::uint64_t>(q.attempts)));
+    quarantined.push(std::move(entry));
+  }
+  j.set("quarantined", std::move(quarantined));
   return j;
 }
 

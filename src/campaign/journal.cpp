@@ -1,0 +1,239 @@
+#include "campaign/journal.hpp"
+
+#include <unistd.h>
+
+#include <utility>
+#include <vector>
+
+#include "campaign/artifact.hpp"
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace fades::campaign {
+
+using common::ErrorKind;
+using common::require;
+using obs::Json;
+
+namespace {
+
+constexpr const char* kSchema = "fades.journal/1";
+
+Json headerJson(const CampaignSpec& spec) {
+  Json j = Json::object();
+  j.set("schema", Json(std::string(kSchema)));
+  j.set("spec", toJson(spec));
+  return j;
+}
+
+bool readU64(const Json& j, const char* key, std::uint64_t& out) {
+  const Json* f = j.find(key);
+  if (f == nullptr || !f->isNumber()) return false;
+  out = static_cast<std::uint64_t>(f->asInt());
+  return true;
+}
+
+bool readDouble(const Json& j, const char* key, double& out) {
+  const Json* f = j.find(key);
+  if (f == nullptr || !f->isNumber()) return false;
+  out = f->asNumber();
+  return true;
+}
+
+bool readString(const Json& j, const char* key, std::string& out) {
+  const Json* f = j.find(key);
+  if (f == nullptr || !f->isString()) return false;
+  out = f->asString();
+  return true;
+}
+
+bool parseRecord(const Json& j, ExperimentRecord& out) {
+  std::string outcome;
+  if (!readString(j, "target", out.targetName) ||
+      !readU64(j, "inject_cycle", out.injectCycle) ||
+      !readDouble(j, "duration_cycles", out.durationCycles) ||
+      !readString(j, "outcome", outcome) ||
+      !readDouble(j, "modeled_seconds", out.modeledSeconds)) {
+    return false;
+  }
+  return outcomeFromString(outcome, out.outcome);
+}
+
+std::string readAll(std::FILE* f) {
+  std::string content;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) != 0) {
+    content.append(buf, n);
+  }
+  return content;
+}
+
+}  // namespace
+
+std::string CampaignJournal::outcomeLine(const ExperimentOutcome& x) {
+  // Doubles survive the trip exactly: obs::Json prints them with enough
+  // digits to round-trip through strtod bit-for-bit, which is what lets a
+  // resumed campaign fold journaled outcomes into sums identical to the
+  // live run's.
+  Json j = Json::object();
+  j.set("index", Json(x.index));
+  j.set("attempts", Json(static_cast<std::uint64_t>(x.attempts)));
+  if (x.quarantined) {
+    j.set("quarantined", Json(true));
+    j.set("kind", Json(std::string(common::toString(x.failureKind))));
+    j.set("error", Json(x.failureMessage));
+  } else {
+    j.set("outcome", Json(std::string(toString(x.outcome))));
+    j.set("modeled_seconds", Json(x.modeledSeconds));
+    j.set("config_seconds", Json(x.configSeconds));
+    j.set("workload_seconds", Json(x.workloadSeconds));
+    j.set("host_seconds", Json(x.hostSeconds));
+    j.set("bytes_to_device", Json(x.bytesToDevice));
+    j.set("bytes_from_device", Json(x.bytesFromDevice));
+    j.set("sessions", Json(x.sessions));
+    if (x.hasRecord) j.set("record", toJson(x.record));
+  }
+  return j.dump() + "\n";
+}
+
+bool CampaignJournal::parseOutcomeLine(const std::string& line,
+                                       ExperimentOutcome& out) {
+  const auto parsed = Json::parse(line);
+  if (!parsed || !parsed->isObject()) return false;
+  const Json& j = *parsed;
+  out = ExperimentOutcome{};
+  std::uint64_t attempts = 0;
+  if (!readU64(j, "index", out.index) || !readU64(j, "attempts", attempts)) {
+    return false;
+  }
+  out.attempts = static_cast<unsigned>(attempts);
+  const Json* quarantined = j.find("quarantined");
+  if (quarantined != nullptr && quarantined->asBool()) {
+    out.quarantined = true;
+    std::string kind;
+    if (!readString(j, "kind", kind) ||
+        !readString(j, "error", out.failureMessage)) {
+      return false;
+    }
+    return errorKindFromString(kind, out.failureKind);
+  }
+  std::string outcome;
+  if (!readString(j, "outcome", outcome) ||
+      !outcomeFromString(outcome, out.outcome) ||
+      !readDouble(j, "modeled_seconds", out.modeledSeconds) ||
+      !readDouble(j, "config_seconds", out.configSeconds) ||
+      !readDouble(j, "workload_seconds", out.workloadSeconds) ||
+      !readDouble(j, "host_seconds", out.hostSeconds) ||
+      !readU64(j, "bytes_to_device", out.bytesToDevice) ||
+      !readU64(j, "bytes_from_device", out.bytesFromDevice) ||
+      !readU64(j, "sessions", out.sessions)) {
+    return false;
+  }
+  if (const Json* record = j.find("record")) {
+    if (!record->isObject() || !parseRecord(*record, out.record)) return false;
+    out.hasRecord = true;
+  }
+  return true;
+}
+
+void CampaignJournal::open(const CampaignSpec& spec, bool resume) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  completed_.clear();
+
+  // Byte offset of the end of the last committed (parsed and
+  // newline-terminated) line; everything past it is a torn tail from a
+  // killed writer and gets truncated before we append.
+  std::size_t committedEnd = 0;
+  bool haveHeader = false;
+  if (resume) {
+    if (std::FILE* in = std::fopen(path_.c_str(), "rb")) {
+      const std::string content = readAll(in);
+      std::fclose(in);
+      std::size_t pos = 0;
+      while (pos < content.size()) {
+        const std::size_t nl = content.find('\n', pos);
+        if (nl == std::string::npos) break;  // torn tail, ignore
+        const std::string line = content.substr(pos, nl - pos);
+        if (!haveHeader) {
+          const auto header = Json::parse(line);
+          std::string schema;
+          require(header && header->isObject() &&
+                      readString(*header, "schema", schema) &&
+                      schema == kSchema,
+                  ErrorKind::ConfigError,
+                  "journal " + path_ + " has no valid fades.journal/1 header");
+          const Json* fileSpec = header->find("spec");
+          require(fileSpec != nullptr &&
+                      fileSpec->dump() == toJson(spec).dump(),
+                  ErrorKind::ConfigError,
+                  "journal " + path_ +
+                      " was written for a different campaign spec");
+          haveHeader = true;
+        } else {
+          ExperimentOutcome outcome;
+          if (!parseOutcomeLine(line, outcome)) break;  // stop at corruption
+          completed_[outcome.index] = std::move(outcome);
+        }
+        committedEnd = nl + 1;
+        pos = nl + 1;
+      }
+    }
+  }
+
+  if (haveHeader) {
+    // Drop the torn tail (if any), then extend the surviving journal.
+    if (truncate(path_.c_str(), static_cast<off_t>(committedEnd)) != 0) {
+      common::raise(ErrorKind::ConfigError,
+                    "cannot truncate journal " + path_);
+    }
+    file_ = std::fopen(path_.c_str(), "ab");
+    require(file_ != nullptr, ErrorKind::ConfigError,
+            "cannot open journal " + path_ + " for append");
+    return;
+  }
+
+  // Fresh journal (no resume requested, file missing, or no committed
+  // header survived).
+  file_ = std::fopen(path_.c_str(), "wb");
+  require(file_ != nullptr, ErrorKind::ConfigError,
+          "cannot create journal " + path_);
+  const std::string header = headerJson(spec).dump() + "\n";
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    std::fclose(file_);
+    file_ = nullptr;
+    common::raise(ErrorKind::ConfigError,
+                  "cannot write journal header to " + path_);
+  }
+  std::fflush(file_);
+  if (fsync_ == FsyncPolicy::EachRecord) fsync(fileno(file_));
+}
+
+void CampaignJournal::append(const ExperimentOutcome& outcome) {
+  const std::string line = outcomeLine(outcome);
+  std::lock_guard<std::mutex> lock(mutex_);
+  require(file_ != nullptr, ErrorKind::ConfigError,
+          "journal " + path_ + " is not open");
+  // One fwrite per line + immediate flush: a crash between appends never
+  // leaves more than one torn line, and open() skips torn lines.
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    common::raise(ErrorKind::ConfigError,
+                  "cannot append to journal " + path_);
+  }
+  std::fflush(file_);
+  if (fsync_ == FsyncPolicy::EachRecord) fsync(fileno(file_));
+}
+
+void CampaignJournal::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace fades::campaign

@@ -5,6 +5,7 @@
 #include <exception>
 #include <thread>
 
+#include "campaign/journal.hpp"
 #include "common/error.hpp"
 #include "obs/log.hpp"
 #include "obs/trace.hpp"
@@ -41,12 +42,16 @@ void ProgressTracker::record(const ExperimentOutcome& outcome) {
   if (interval_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
   ++done_;
-  switch (outcome.outcome) {
-    case Outcome::Failure: ++failures_; break;
-    case Outcome::Latent: ++latents_; break;
-    case Outcome::Silent: ++silents_; break;
+  if (outcome.quarantined) {
+    ++quarantined_;
+  } else {
+    switch (outcome.outcome) {
+      case Outcome::Failure: ++failures_; break;
+      case Outcome::Latent: ++latents_; break;
+      case Outcome::Silent: ++silents_; break;
+    }
+    modeledSum_ += outcome.modeledSeconds;
   }
-  modeledSum_ += outcome.modeledSeconds;
   if (done_ % interval_ != 0 && done_ != total_) return;
   gauge_.set(100.0 * done_ / total_);
   FADES_LOG(Info) << "campaign progress" << obs::kv("model", model_)
@@ -54,6 +59,7 @@ void ProgressTracker::record(const ExperimentOutcome& outcome) {
                   << obs::kv("failures", failures_)
                   << obs::kv("latents", latents_)
                   << obs::kv("silents", silents_)
+                  << obs::kv("quarantined", quarantined_)
                   << obs::kv("modeled_s", modeledSum_);
 }
 
@@ -115,6 +121,36 @@ CampaignResult ParallelCampaignRunner::run(const CampaignSpec& spec) {
   std::vector<ExperimentOutcome> outcomes(spec.experiments);
   ProgressTracker progress(toString(spec.model), spec.experiments,
                            opt_.progressInterval);
+
+  // Checkpoint/resume: journaled outcomes are folded back in without being
+  // re-run, so a resumed campaign produces artifacts byte-identical to an
+  // uninterrupted one (every outcome is a pure function of (spec, index)
+  // and the fold order is index order either way).
+  std::vector<char> alreadyDone(spec.experiments, 0);
+  if (opt_.journal != nullptr) {
+    opt_.journal->open(spec, opt_.resume);
+    std::uint64_t resumed = 0;
+    for (const auto& [index, outcome] : opt_.journal->completed()) {
+      if (index >= spec.experiments) continue;
+      outcomes[index] = outcome;
+      alreadyDone[index] = 1;
+      ++resumed;
+      progress.record(outcome);
+    }
+    if (resumed != 0) {
+      obs::Registry::global()
+          .counter("campaign.resumed_experiments")
+          .add(resumed);
+      FADES_LOG(Info) << "campaign resume"
+                      << obs::kv("journal", opt_.journal->path())
+                      << obs::kv("resumed", resumed)
+                      << obs::kv("total", spec.experiments);
+    }
+  }
+
+  const unsigned attempts = std::max(1u, opt_.experimentAttempts);
+  obs::Counter& cQuarantined =
+      obs::Registry::global().counter("campaign.quarantined");
   std::atomic<unsigned> next{0};
   std::atomic<bool> abort{false};
   std::mutex errMu;
@@ -125,8 +161,36 @@ CampaignResult ParallelCampaignRunner::run(const CampaignSpec& spec) {
       while (!abort.load(std::memory_order_relaxed)) {
         const unsigned e = next.fetch_add(1, std::memory_order_relaxed);
         if (e >= spec.experiments) break;
-        outcomes[e] = engines_[w]->runExperimentAt(spec, pool, e);
-        progress.record(outcomes[e]);
+        if (alreadyDone[e]) continue;
+        // Experiment-level isolation: transient errors re-run the
+        // experiment (with a fresh link fault stream via `rerun`) after
+        // restoring the replica; exhausting the attempt budget quarantines
+        // this one experiment. Fatal errors still abort the campaign.
+        ExperimentOutcome outcome;
+        for (unsigned rerun = 0;; ++rerun) {
+          try {
+            outcome = engines_[w]->runExperimentAt(spec, pool, e, rerun);
+            outcome.index = e;
+            outcome.attempts = rerun + 1;
+            break;
+          } catch (const common::FadesError& err) {
+            if (!common::isTransientError(err.kind())) throw;
+            engines_[w]->recover();
+            if (rerun + 1 >= attempts) {
+              outcome = ExperimentOutcome{};
+              outcome.index = e;
+              outcome.quarantined = true;
+              outcome.failureKind = err.kind();
+              outcome.failureMessage = err.what();
+              outcome.attempts = rerun + 1;
+              cQuarantined.inc();
+              break;
+            }
+          }
+        }
+        outcomes[e] = outcome;
+        if (opt_.journal != nullptr) opt_.journal->append(outcome);
+        progress.record(outcome);
       }
     } catch (...) {
       abort.store(true, std::memory_order_relaxed);

@@ -32,6 +32,8 @@
 
 namespace fades::campaign {
 
+class CampaignJournal;
+
 /// One worker's private campaign engine. Implementations own whatever
 /// replica state they need (a device plus the tool driving it) and run any
 /// experiment of a spec by index, independently of all other indices.
@@ -44,10 +46,21 @@ class CampaignEngine {
   virtual std::vector<std::uint32_t> enumeratePool(const CampaignSpec& spec) = 0;
 
   /// Run experiment `index` of the spec against `pool`. Must depend only on
-  /// (spec, pool, index) - never on which experiments ran before.
+  /// (spec, pool, index, rerun) - never on which experiments ran before.
+  /// `rerun` counts experiment-level retries after transient errors; engines
+  /// with an unreliable-link model fold it into the link fault stream seed
+  /// so a retried experiment draws fresh link faults (and can succeed)
+  /// while staying a pure function of its arguments.
   virtual ExperimentOutcome runExperimentAt(const CampaignSpec& spec,
                                             std::span<const std::uint32_t> pool,
-                                            unsigned index) = 0;
+                                            unsigned index, unsigned rerun) = 0;
+
+  /// Restore the replica to a known-good state after a transient failure
+  /// left it suspect (e.g. a link fault mid-reconfiguration abandoned a
+  /// half-written configuration plane). Called before every retry and
+  /// before continuing past a quarantined experiment. Default: no-op, for
+  /// engines whose runExperimentAt cannot leave residue behind.
+  virtual void recover() {}
 };
 
 /// Builds one engine replica; called once per worker, concurrently. The
@@ -74,6 +87,7 @@ class ProgressTracker {
   std::size_t failures_ = 0;
   std::size_t latents_ = 0;
   std::size_t silents_ = 0;
+  std::size_t quarantined_ = 0;
   double modeledSum_ = 0;
   obs::Gauge& gauge_;
 };
@@ -84,6 +98,17 @@ struct ParallelOptions {
   /// Campaign heartbeat every N experiments (campaign-wide, not per shard);
   /// 0 disables it.
   unsigned progressInterval = 0;
+  /// Runs an experiment gets before a persistent transient error (LinkError,
+  /// InjectionError) quarantines it instead of aborting the campaign.
+  /// Fatal errors (and non-FadesError exceptions) always abort.
+  unsigned experimentAttempts = 3;
+  /// Optional crash-safe checkpoint journal. When set, run() opens it for
+  /// the campaign spec, appends every completed outcome, and - with resume
+  /// also set - folds in previously journaled outcomes instead of
+  /// re-running them. Not owned.
+  CampaignJournal* journal = nullptr;
+  /// Skip experiments already committed to `journal` (requires journal).
+  bool resume = false;
 };
 
 /// Partitions a campaign's experiment list across worker threads, each

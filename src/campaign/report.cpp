@@ -78,12 +78,28 @@ std::string recordsToCsv(const CampaignResult& result) {
 }
 
 void writeTextFile(const std::string& path, const std::string& text) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
-      std::fopen(path.c_str(), "wb"), &std::fclose);
-  require(f != nullptr, ErrorKind::InvalidArgument,
-          "cannot open '" + path + "' for writing");
-  require(std::fwrite(text.data(), 1, text.size(), f.get()) == text.size(),
-          ErrorKind::InvalidArgument, "short write to '" + path + "'");
+  // Crash-safe tmp + rename, like obs::writeFile: a killed run never leaves
+  // a truncated report in place of a complete one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+        std::fopen(tmp.c_str(), "wb"), &std::fclose);
+    require(f != nullptr, ErrorKind::InvalidArgument,
+            "cannot open '" + tmp + "' for writing");
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f.get()) == text.size() &&
+        std::fflush(f.get()) == 0;
+    if (!ok) {
+      f.reset();
+      std::remove(tmp.c_str());
+      common::raise(ErrorKind::InvalidArgument, "short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    common::raise(ErrorKind::InvalidArgument,
+                  "cannot rename '" + tmp + "' to '" + path + "'");
+  }
 }
 
 }  // namespace fades::campaign

@@ -33,6 +33,32 @@ const char* toString(Outcome o) {
   return "?";
 }
 
+bool outcomeFromString(std::string_view text, Outcome& out) {
+  for (const Outcome o : {Outcome::Silent, Outcome::Latent, Outcome::Failure}) {
+    if (text == toString(o)) {
+      out = o;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool errorKindFromString(std::string_view text, common::ErrorKind& out) {
+  using common::ErrorKind;
+  for (const ErrorKind k :
+       {ErrorKind::InvalidArgument, ErrorKind::NetlistError,
+        ErrorKind::SynthesisError, ErrorKind::RoutingError,
+        ErrorKind::ConfigError, ErrorKind::CapacityError,
+        ErrorKind::WorkloadError, ErrorKind::InjectionError,
+        ErrorKind::LinkError}) {
+    if (text == common::toString(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 Outcome classify(const Observation& golden, const Observation& faulty) {
   // Failure: the traces present different outputs (paper Section 5).
   if (golden.outputs != faulty.outputs) return Outcome::Failure;

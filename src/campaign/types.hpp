@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/stats.hpp"
 
 namespace fades::campaign {
@@ -34,6 +36,10 @@ const char* toString(TargetClass t);
 /// Fault effect classification (paper Section 5, results analysis module).
 enum class Outcome : std::uint8_t { Silent, Latent, Failure };
 const char* toString(Outcome o);
+/// Inverse of toString(Outcome); false when `text` names no outcome.
+bool outcomeFromString(std::string_view text, Outcome& out);
+/// Inverse of common::toString(ErrorKind); false when `text` names no kind.
+bool errorKindFromString(std::string_view text, common::ErrorKind& out);
 
 /// Fault duration band, in clock cycles. The sub-cycle band models faults
 /// shorter than one clock period: they are only captured when they overlap
@@ -93,6 +99,7 @@ struct ExperimentRecord {
 /// accumulated floating-point sum is bit-identical no matter which worker
 /// ran which experiment or in what order the shards finished.
 struct ExperimentOutcome {
+  std::uint64_t index = 0;  // experiment index within the campaign
   Outcome outcome = Outcome::Silent;
   double modeledSeconds = 0;
   double configSeconds = 0;
@@ -103,6 +110,24 @@ struct ExperimentOutcome {
   std::uint64_t sessions = 0;
   bool hasRecord = false;
   ExperimentRecord record;  // meaningful only when hasRecord is set
+  /// Experiment failure: every retry attempt raised a transient error, so
+  /// the experiment was quarantined instead of aborting the campaign. A
+  /// quarantined outcome contributes nothing to the tallies or the cost
+  /// breakdown; it is recorded in CampaignResult::quarantined.
+  bool quarantined = false;
+  common::ErrorKind failureKind = common::ErrorKind::InvalidArgument;
+  std::string failureMessage;  // meaningful only when quarantined is set
+  unsigned attempts = 0;       // runs consumed (successful run included)
+};
+
+/// One experiment that exhausted its retry budget on transient errors. The
+/// quarantined set is part of the campaign result: with link faults the set
+/// is a pure function of the spec, so it is identical at any --jobs.
+struct QuarantinedExperiment {
+  std::uint64_t index = 0;
+  common::ErrorKind kind = common::ErrorKind::InvalidArgument;
+  std::string error;
+  unsigned attempts = 0;
 };
 
 /// Modeled cost decomposition of a whole campaign - where the emulation
@@ -132,6 +157,9 @@ struct CampaignResult {
   common::RunningStats modeledSeconds;  // per experiment
   CostBreakdown cost;  // campaign-total decomposition of modeledSeconds
   std::vector<ExperimentRecord> records;  // filled when spec asks for detail
+  /// Experiments that failed all retry attempts with transient errors, in
+  /// index order (the fold order). Not counted in total() or cost.
+  std::vector<QuarantinedExperiment> quarantined;
 
   std::size_t total() const { return failures + latents + silents; }
   double failurePct() const { return common::percent(failures, total()); }
@@ -149,6 +177,11 @@ struct CampaignResult {
   /// runner and the shard merge; keeping it in one place is what makes
   /// "same outcomes in the same order => bit-identical result" hold.
   void fold(const ExperimentOutcome& x) {
+    if (x.quarantined) {
+      quarantined.push_back(
+          {x.index, x.failureKind, x.failureMessage, x.attempts});
+      return;  // no result to tally, no modeled cost to accumulate
+    }
     add(x.outcome, x.modeledSeconds);
     cost.configSeconds += x.configSeconds;
     cost.workloadSeconds += x.workloadSeconds;

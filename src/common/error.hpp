@@ -21,9 +21,19 @@ enum class ErrorKind {
   CapacityError,     // design does not fit the device
   WorkloadError,     // assembler / program errors
   InjectionError,    // fault target not applicable / not found
+  LinkError,         // host <-> board link failure (CRC, timeout, retry
+                     // budget exhausted)
 };
 
 const char* toString(ErrorKind kind);
+
+/// Transient errors are retryable at the experiment level: rerunning the
+/// same experiment (with a fresh link-fault stream or a redrawn target) can
+/// legitimately succeed. Everything else indicates a broken spec, design or
+/// host and must abort the campaign.
+inline bool isTransientError(ErrorKind kind) {
+  return kind == ErrorKind::LinkError || kind == ErrorKind::InjectionError;
+}
 
 class FadesError : public std::runtime_error {
  public:
@@ -56,6 +66,7 @@ inline const char* toString(ErrorKind kind) {
     case ErrorKind::CapacityError: return "capacity error";
     case ErrorKind::WorkloadError: return "workload error";
     case ErrorKind::InjectionError: return "injection error";
+    case ErrorKind::LinkError: return "link error";
   }
   return "unknown error";
 }

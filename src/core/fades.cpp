@@ -81,6 +81,29 @@ FadesTool::FadesTool(fpga::Device& device, const synth::Implementation& impl,
   }
   captureFinalStateViaPort(golden_, /*chargeOnly=*/false);
   port_.resetMeter();
+
+  // The unreliable-link model arms only now: setup (bitstream download +
+  // golden run) happens on a quiet link, so replica construction never
+  // raises LinkError and every fault lands inside a retryable experiment.
+  port_.setRetryPolicy(opt_.linkRetry);
+  port_.setLinkFaults(opt_.linkFaults);
+}
+
+void FadesTool::recoverLink() {
+  // A link fault can abandon a reconfiguration session mid-write, leaving a
+  // partially updated configuration plane that no checkpoint restore can
+  // repair (checkpoints hold dynamic state, not configuration). Drop the
+  // wedged session - pending shadow writes must NOT be flushed - and
+  // re-download the configuration file. The recovery transfer runs with the
+  // fault model suspended (the modeled operator re-initializes a quiet
+  // board) and the meter is reset afterwards, so recovery cost never leaks
+  // into the next experiment's modeled seconds.
+  const bits::LinkFaultOptions faults = port_.linkFaults();
+  port_.setLinkFaults({});
+  port_.dropSession();
+  port_.writeFullBitstream(impl_.bitstream);
+  port_.setLinkFaults(faults);
+  port_.resetMeter();
 }
 
 std::uint64_t FadesTool::outputWord() const {
@@ -784,7 +807,16 @@ std::vector<std::uint32_t> FadesTool::campaignPool(
 
 campaign::ExperimentOutcome FadesTool::runCampaignExperiment(
     const CampaignSpec& spec, std::span<const std::uint32_t> pool,
-    unsigned index) {
+    unsigned index, unsigned rerun) {
+  // The link fault stream is keyed by (campaign seed, index, rerun) with a
+  // salt separating it from the experiment streams below: faults are a pure
+  // function of the spec (same pattern at any --jobs, cache on or off,
+  // because the logical operation sequence never varies), yet a rerun after
+  // a transient failure draws fresh faults and can succeed - which is what
+  // keeps a faulted campaign's artifacts identical to a fault-free run.
+  port_.seedLinkStream(common::streamSeed(
+      spec.seed ^ 0x6c696e6b5f726e67ULL,  // "link_rng"
+      std::uint64_t{index} * 131 + rerun));
   // A handful of sites cannot host certain faults (e.g. a net with no free
   // fabric around it for a delay detour); redraw like the paper's tool
   // would skip an unusable location. Each attempt derives its own stream
@@ -812,6 +844,7 @@ campaign::ExperimentOutcome FadesTool::runCampaignExperiment(
       }
       continue;
     }
+    out.index = index;
     out.configSeconds = opt_.link.seconds(meter);
     out.workloadSeconds = static_cast<double>(runCycles_) / opt_.fpgaClockHz;
     out.hostSeconds = opt_.hostPerExperimentSeconds;
@@ -837,8 +870,35 @@ CampaignResult FadesTool::runCampaign(const CampaignSpec& spec) {
   const auto pool = campaignPool(spec);
   campaign::ProgressTracker progress(campaign::toString(spec.model),
                                      spec.experiments, opt_.progressInterval);
+  // Same isolate/retry/quarantine discipline as the sharded runner: a
+  // transient error re-runs the experiment (fresh link fault stream via
+  // `rerun`) after link recovery; exhausting the budget quarantines that
+  // one experiment instead of discarding the whole campaign.
+  const unsigned attempts = std::max(1u, opt_.experimentAttempts);
+  obs::Counter& cQuarantined =
+      obs::Registry::global().counter("campaign.quarantined");
   for (unsigned e = 0; e < spec.experiments; ++e) {
-    const auto outcome = runCampaignExperiment(spec, pool, e);
+    campaign::ExperimentOutcome outcome;
+    for (unsigned rerun = 0;; ++rerun) {
+      try {
+        outcome = runCampaignExperiment(spec, pool, e, rerun);
+        outcome.attempts = rerun + 1;
+        break;
+      } catch (const common::FadesError& err) {
+        if (!common::isTransientError(err.kind())) throw;
+        recoverLink();
+        if (rerun + 1 >= attempts) {
+          outcome = campaign::ExperimentOutcome{};
+          outcome.index = e;
+          outcome.quarantined = true;
+          outcome.failureKind = err.kind();
+          outcome.failureMessage = err.what();
+          outcome.attempts = rerun + 1;
+          cQuarantined.inc();
+          break;
+        }
+      }
+    }
     result.fold(outcome);
     progress.record(outcome);
   }
@@ -864,9 +924,11 @@ std::vector<std::uint32_t> FadesCampaignEngine::enumeratePool(
 
 campaign::ExperimentOutcome FadesCampaignEngine::runExperimentAt(
     const CampaignSpec& spec, std::span<const std::uint32_t> pool,
-    unsigned index) {
-  return tool_->runCampaignExperiment(spec, pool, index);
+    unsigned index, unsigned rerun) {
+  return tool_->runCampaignExperiment(spec, pool, index, rerun);
 }
+
+void FadesCampaignEngine::recover() { tool_->recoverLink(); }
 
 campaign::EngineFactory fadesEngineFactory(
     const synth::Implementation& impl, std::uint64_t runCycles,

@@ -84,6 +84,19 @@ struct FadesOptions {
   /// end. Pure host-side optimization - metered traffic, modeled seconds,
   /// outcomes and artifacts are bit-identical with the cache on or off.
   bool sessionFrameCache = true;
+  /// Deterministic unreliable-link emulation: every metered transfer after
+  /// setup can hit a readback CRC mismatch, transient write failure or
+  /// timeout, and is retried per `linkRetry`. The fault stream is seeded
+  /// per (experiment index, rerun) from the campaign seed, never from the
+  /// experiment RNG, and retry cost is charged to retry-only meter fields -
+  /// so outcomes and artifacts stay bit-identical to a fault-free run.
+  bits::LinkFaultOptions linkFaults{};
+  bits::RetryPolicy linkRetry{};
+  /// Runs one experiment gets in the serial runCampaign loop before a
+  /// persistent transient error (LinkError / InjectionError) quarantines it
+  /// instead of aborting the campaign. The sharded runner has its own
+  /// campaign::ParallelOptions::experimentAttempts.
+  unsigned experimentAttempts = 3;
 };
 
 /// Register-level effect of a fault, for the paper's Table 4 (one pulse in
@@ -119,14 +132,22 @@ class FadesTool {
   std::vector<std::uint32_t> campaignPool(const CampaignSpec& spec) const;
 
   /// Run campaign experiment `index` of `spec` against `pool`. A pure
-  /// function of (spec, pool, index): the experiment's random stream is
-  /// derived statelessly from the campaign seed and index, and unusable
-  /// fault sites redraw from per-attempt streams. Both the serial
-  /// runCampaign loop and the sharded runner execute experiments through
-  /// this one path.
+  /// function of (spec, pool, index, rerun): the experiment's random stream
+  /// is derived statelessly from the campaign seed and index, and unusable
+  /// fault sites redraw from per-attempt streams. `rerun` counts
+  /// experiment-level retries after transient errors; it only reseeds the
+  /// link fault stream, so a retried experiment faces fresh link faults but
+  /// computes the identical result. Both the serial runCampaign loop and
+  /// the sharded runner execute experiments through this one path.
   campaign::ExperimentOutcome runCampaignExperiment(
       const CampaignSpec& spec, std::span<const std::uint32_t> pool,
-      unsigned index);
+      unsigned index, unsigned rerun = 0);
+
+  /// Recover from a link failure that may have abandoned a reconfiguration
+  /// session mid-write: drop the wedged session and re-download the full
+  /// configuration file on a quiet link (fault model suspended, meter reset
+  /// afterwards), the way a real host re-initializes a flaky board.
+  void recoverLink();
 
   Outcome runExperiment(FaultModel model, TargetClass cls,
                         std::uint32_t target, std::uint64_t injectCycle,
@@ -228,7 +249,8 @@ class FadesCampaignEngine final : public campaign::CampaignEngine {
   std::vector<std::uint32_t> enumeratePool(const CampaignSpec& spec) override;
   campaign::ExperimentOutcome runExperimentAt(
       const CampaignSpec& spec, std::span<const std::uint32_t> pool,
-      unsigned index) override;
+      unsigned index, unsigned rerun) override;
+  void recover() override;
 
   FadesTool& tool() { return *tool_; }
 

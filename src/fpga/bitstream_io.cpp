@@ -29,16 +29,27 @@ struct Reader {
   const std::vector<std::uint8_t>& b;
   std::size_t pos = 0;
 
-  std::uint32_t u32() {
-    require(pos + 4 <= b.size(), ErrorKind::ConfigError,
-            "truncated bitstream container");
+  // Subtraction-based bounds checks (pos is always <= b.size(), so
+  // b.size() - pos cannot wrap), and every failure names the byte offset
+  // so a corrupt file can be diagnosed from the message alone.
+  std::size_t remaining() const { return b.size() - pos; }
+  void need(std::size_t n, const char* what) {
+    if (remaining() < n) {
+      raise(ErrorKind::ConfigError,
+            std::string("truncated bitstream container: need ") +
+                std::to_string(n) + " byte(s) for " + what +
+                " at byte offset " + std::to_string(pos) + ", have " +
+                std::to_string(remaining()));
+    }
+  }
+  std::uint32_t u32(const char* what) {
+    need(4, what);
     std::uint32_t v = 0;
     for (int i = 0; i < 4; ++i) v |= std::uint32_t{b[pos++]} << (8 * i);
     return v;
   }
-  std::uint64_t u64() {
-    require(pos + 8 <= b.size(), ErrorKind::ConfigError,
-            "truncated bitstream container");
+  std::uint64_t u64(const char* what) {
+    need(8, what);
     std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[pos++]} << (8 * i);
     return v;
@@ -94,46 +105,88 @@ std::vector<std::uint8_t> serializeBitstream(const DeviceSpec& spec,
 Bitstream deserializeBitstream(const DeviceSpec& expected,
                                std::vector<std::uint8_t> const& bytes) {
   Reader r{bytes};
-  require(r.u32() == kMagic, ErrorKind::ConfigError, "bad bitstream magic");
-  require(r.u32() == kVersion, ErrorKind::ConfigError,
-          "unsupported bitstream version");
-  const auto rows = r.u32(), cols = r.u32(), tracks = r.u32();
-  const auto memBlocks = r.u32(), memBlockBits = r.u32();
+  require(r.u32("magic") == kMagic, ErrorKind::ConfigError,
+          "bad bitstream magic at byte offset 0");
+  require(r.u32("version") == kVersion, ErrorKind::ConfigError,
+          "unsupported bitstream version at byte offset 4");
+  const auto rows = r.u32("rows"), cols = r.u32("cols"),
+             tracks = r.u32("tracks");
+  const auto memBlocks = r.u32("memBlocks"),
+             memBlockBits = r.u32("memBlockBits");
   require(rows == expected.rows && cols == expected.cols &&
               tracks == expected.tracks && memBlocks == expected.memBlocks &&
               memBlockBits == expected.memBlockBits,
           ErrorKind::ConfigError,
           "bitstream was generated for a different device geometry");
-  const auto logicBits = r.u64();
-  const auto bramBits = r.u64();
-  const std::size_t logicBytes = (logicBits + 7) / 8;
-  const std::size_t bramBytes = (bramBits + 7) / 8;
-  require(r.pos + logicBytes + bramBytes + 4 <= bytes.size(),
-          ErrorKind::ConfigError, "truncated bitstream payload");
+  const auto logicBits = r.u64("logic bit count");
+  const auto bramBits = r.u64("bram bit count");
+  // Validate the declared sizes against what the container actually holds
+  // BEFORE allocating anything: the counts are attacker-controlled 64-bit
+  // values, so both the +7 rounding and any pos+len addition could wrap.
+  // Everything below is subtraction-based on the known remaining length.
   const std::size_t payloadStart = r.pos;
-  Bitstream bs{common::BitVector(logicBits), common::BitVector(bramBits)};
-  bs.logic.importBytes(0, logicBits,
-                       {bytes.data() + r.pos, logicBytes});
-  r.pos += logicBytes;
-  bs.bram.importBytes(0, bramBits, {bytes.data() + r.pos, bramBytes});
-  r.pos += bramBytes;
-  const std::uint32_t stored = r.u32();
+  require(r.remaining() >= 4, ErrorKind::ConfigError,
+          "truncated bitstream: no room for CRC after byte offset " +
+              std::to_string(r.pos));
+  const std::size_t payloadMax = r.remaining() - 4;
+  require(logicBits <= std::uint64_t{payloadMax} * 8, ErrorKind::ConfigError,
+          "declared logic bit count " + std::to_string(logicBits) +
+              " exceeds the " + std::to_string(payloadMax) +
+              " payload byte(s) present at byte offset " +
+              std::to_string(payloadStart));
+  const std::size_t logicBytes = static_cast<std::size_t>((logicBits + 7) / 8);
+  require(bramBits <= (std::uint64_t{payloadMax} - logicBytes) * 8,
+          ErrorKind::ConfigError,
+          "declared bram bit count " + std::to_string(bramBits) +
+              " exceeds the payload byte(s) remaining at byte offset " +
+              std::to_string(payloadStart + logicBytes));
+  const std::size_t bramBytes = static_cast<std::size_t>((bramBits + 7) / 8);
+  // Verify the CRC before constructing the Bitstream: a corrupt file must
+  // raise a typed error without any partially imported state escaping.
   const std::uint32_t computed =
       crc32(bytes.data() + payloadStart, logicBytes + bramBytes);
+  const std::size_t crcPos = payloadStart + logicBytes + bramBytes;
+  Reader crcReader{bytes, crcPos};
+  const std::uint32_t stored = crcReader.u32("payload CRC");
   require(stored == computed, ErrorKind::ConfigError,
-          "bitstream CRC mismatch (corrupted configuration file)");
+          "bitstream CRC mismatch at byte offset " + std::to_string(crcPos) +
+              " (corrupted configuration file)");
+  require(crcReader.remaining() == 0, ErrorKind::ConfigError,
+          std::to_string(crcReader.remaining()) +
+              " trailing byte(s) after bitstream CRC at byte offset " +
+              std::to_string(crcReader.pos));
+  Bitstream bs{common::BitVector(logicBits), common::BitVector(bramBits)};
+  bs.logic.importBytes(0, logicBits, {bytes.data() + payloadStart, logicBytes});
+  bs.bram.importBytes(0, bramBits,
+                      {bytes.data() + payloadStart + logicBytes, bramBytes});
   return bs;
 }
 
 void saveBitstream(const std::string& path, const DeviceSpec& spec,
                    const Bitstream& bitstream) {
   const auto bytes = serializeBitstream(spec, bitstream);
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
-      std::fopen(path.c_str(), "wb"), &std::fclose);
-  require(f != nullptr, ErrorKind::ConfigError,
-          "cannot open '" + path + "' for writing");
-  require(std::fwrite(bytes.data(), 1, bytes.size(), f.get()) == bytes.size(),
-          ErrorKind::ConfigError, "short write to '" + path + "'");
+  // Crash-safe tmp + rename: a configuration file on disk is always either
+  // the previous complete image or the new complete image.
+  const std::string tmp = path + ".tmp";
+  {
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+        std::fopen(tmp.c_str(), "wb"), &std::fclose);
+    require(f != nullptr, ErrorKind::ConfigError,
+            "cannot open '" + tmp + "' for writing");
+    const bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f.get()) == bytes.size() &&
+        std::fflush(f.get()) == 0;
+    if (!ok) {
+      f.reset();
+      std::remove(tmp.c_str());
+      raise(ErrorKind::ConfigError, "short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    raise(ErrorKind::ConfigError,
+          "cannot rename '" + tmp + "' to '" + path + "'");
+  }
 }
 
 Bitstream loadBitstream(const std::string& path, const DeviceSpec& expected) {

@@ -46,14 +46,25 @@ std::string RunArtifact::toJsonl() const {
 }
 
 void writeFile(const std::string& path, const std::string& text) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Crash-safe: write the whole artifact to <path>.tmp, then rename() it
+  // into place (atomic on POSIX). A process killed mid-write leaves either
+  // the previous complete file or a stray .tmp - never a truncated file
+  // that parses as a complete artifact.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    throw std::runtime_error("cannot open '" + path + "' for writing");
+    throw std::runtime_error("cannot open '" + tmp + "' for writing");
   }
   const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool flushed = std::fflush(f) == 0;
   std::fclose(f);
-  if (written != text.size()) {
-    throw std::runtime_error("short write to '" + path + "'");
+  if (written != text.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename '" + tmp + "' to '" + path + "'");
   }
 }
 

@@ -212,9 +212,11 @@ class SyntheticEngine final : public campaign::CampaignEngine {
 
   ExperimentOutcome runExperimentAt(const CampaignSpec& /*spec*/,
                                     std::span<const std::uint32_t> pool,
-                                    unsigned index) override {
+                                    unsigned index,
+                                    unsigned /*rerun*/) override {
     if (index == failAt_) throw std::runtime_error("synthetic failure");
     ExperimentOutcome out;
+    out.index = index;
     out.outcome = index % 3 == 0   ? Outcome::Failure
                   : index % 3 == 1 ? Outcome::Latent
                                    : Outcome::Silent;

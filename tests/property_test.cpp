@@ -278,6 +278,93 @@ TEST(ParallelEquivalence, RandomCampaignsShardedEqualsSerial) {
   }
 }
 
+// ----------------------------------------- unreliable-link equivalence -----
+
+/// For any random design and any random (modest) link fault rates, retried
+/// transfers must be invisible in the campaign result: outcomes, records and
+/// the modeled cost are bit-identical to a fault-free run of the same spec,
+/// serial and sharded alike. Only the telemetry (fault/retry counters) may
+/// differ.
+TEST(LinkFaultEquivalence, RandomFaultRatesAreInvisibleInResults) {
+  using campaign::CampaignSpec;
+  using campaign::DurationBand;
+  using campaign::FaultModel;
+  using campaign::TargetClass;
+
+  Rng rng(8051);
+  for (int trial = 0; trial < 3; ++trial) {
+    Builder b = randomDesign(300 + trial, 30 + rng.below(20));
+    const Netlist nl = b.finish();
+    const auto impl = synth::implement(nl, fpga::DeviceSpec::small());
+    const std::uint64_t cycles = 32 + rng.below(32);
+
+    core::FadesOptions clean;
+    clean.observedOutputs = {"out"};
+    clean.keepRecords = true;
+    clean.progressInterval = 0;
+
+    CampaignSpec spec;
+    spec.model = rng.coin() ? FaultModel::BitFlip : FaultModel::Pulse;
+    spec.targets = spec.model == FaultModel::BitFlip
+                       ? TargetClass::SequentialFF
+                       : TargetClass::CombinationalLut;
+    spec.band = DurationBand::paperBands()[rng.below(3)];
+    spec.experiments = 6 + static_cast<unsigned>(rng.below(6));
+    spec.seed = rng.below(1u << 30);
+
+    fpga::Device device(impl.spec);
+    core::FadesTool tool(device, impl, cycles, clean);
+    if (tool.campaignPool(spec).empty()) continue;
+    const auto baseline = tool.runCampaign(spec);
+
+    // Modest rates with the default generous retry budget: every fault is
+    // retried away, nothing quarantines.
+    core::FadesOptions faulty = clean;
+    faulty.linkFaults.readCrcRate = 0.01 + 0.04 * rng.uniform01();
+    faulty.linkFaults.writeFailRate = 0.01 + 0.04 * rng.uniform01();
+    faulty.linkFaults.timeoutRate = 0.005 * rng.uniform01();
+
+    SCOPED_TRACE("trial " + std::to_string(trial) + " seed " +
+                 std::to_string(spec.seed) + " rates " +
+                 std::to_string(faulty.linkFaults.readCrcRate) + "/" +
+                 std::to_string(faulty.linkFaults.writeFailRate) + "/" +
+                 std::to_string(faulty.linkFaults.timeoutRate));
+
+    fpga::Device faultyDevice(impl.spec);
+    core::FadesTool faultyTool(faultyDevice, impl, cycles, faulty);
+    const auto serial = faultyTool.runCampaign(spec);
+
+    campaign::ParallelOptions popt;
+    popt.jobs = 2 + static_cast<unsigned>(rng.below(3));
+    campaign::ParallelCampaignRunner runner(
+        core::fadesEngineFactory(impl, cycles, faulty), popt);
+    const auto sharded = runner.run(spec);
+
+    for (const auto* r : {&serial, &sharded}) {
+      EXPECT_TRUE(r->quarantined.empty());
+      EXPECT_EQ(baseline.failures, r->failures);
+      EXPECT_EQ(baseline.latents, r->latents);
+      EXPECT_EQ(baseline.silents, r->silents);
+      EXPECT_EQ(baseline.modeledSeconds.count(), r->modeledSeconds.count());
+      EXPECT_EQ(baseline.modeledSeconds.sum(), r->modeledSeconds.sum());
+      EXPECT_EQ(baseline.cost.configSeconds, r->cost.configSeconds);
+      EXPECT_EQ(baseline.cost.workloadSeconds, r->cost.workloadSeconds);
+      EXPECT_EQ(baseline.cost.hostSeconds, r->cost.hostSeconds);
+      EXPECT_EQ(baseline.cost.bytesToDevice, r->cost.bytesToDevice);
+      EXPECT_EQ(baseline.cost.bytesFromDevice, r->cost.bytesFromDevice);
+      EXPECT_EQ(baseline.cost.sessions, r->cost.sessions);
+      ASSERT_EQ(baseline.records.size(), r->records.size());
+      for (std::size_t i = 0; i < baseline.records.size(); ++i) {
+        EXPECT_EQ(baseline.records[i].targetName, r->records[i].targetName);
+        EXPECT_EQ(baseline.records[i].injectCycle, r->records[i].injectCycle);
+        EXPECT_EQ(baseline.records[i].outcome, r->records[i].outcome);
+        EXPECT_EQ(baseline.records[i].modeledSeconds,
+                  r->records[i].modeledSeconds);
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------ RNG statistical -----
 
 TEST(RngProperty, ForkedStreamsPassChiSquareSmoke) {
