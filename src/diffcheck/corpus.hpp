@@ -1,0 +1,26 @@
+// Seed-corpus persistence: one self-contained JSON file per case.
+//
+// The committed corpus under corpus/diffcheck/ is the deterministic tier-1
+// regression suite for the differential oracle; the fuzzer appends shrunk
+// reproducers to it (locally) when it finds disagreements.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diffcheck/case_spec.hpp"
+
+namespace fades::diffcheck {
+
+/// Case files (*.json) in `dir`, sorted by filename for deterministic
+/// replay order. Throws FadesError(InvalidArgument) when the directory is
+/// missing.
+std::vector<std::string> listCorpusFiles(const std::string& dir);
+
+/// Strict load; throws FadesError naming the file on parse/spec errors.
+CaseSpec loadCase(const std::string& path);
+
+/// Pretty-printed, crash-safe (tmp + rename) write.
+void saveCase(const CaseSpec& c, const std::string& path);
+
+}  // namespace fades::diffcheck

@@ -1,0 +1,313 @@
+#include "diffcheck/gen.hpp"
+
+#include <cstdio>
+#include <iterator>
+#include <string>
+
+#include "common/error.hpp"
+#include "mc8051/assembler.hpp"
+#include "mc8051/core.hpp"
+#include "mc8051/iss.hpp"
+#include "rtl/builder.hpp"
+
+namespace fades::diffcheck {
+
+using campaign::DurationBand;
+using campaign::FaultModel;
+using campaign::TargetClass;
+using common::ErrorKind;
+using common::Rng;
+using common::require;
+using netlist::Netlist;
+using netlist::Unit;
+using rtl::Builder;
+using rtl::Bus;
+
+namespace {
+
+Netlist buildRtl(const RtlParams& p) {
+  require(p.regs >= 1 && p.regWidth >= 1, ErrorKind::InvalidArgument,
+          "rtl case needs regs >= 1 and reg_width >= 1");
+  Rng rng(p.seed);
+  Builder b;
+  b.setUnit(Unit::Registers);
+  std::vector<rtl::Register> regs;
+  const std::uint64_t initBound = 1ull << (p.regWidth < 16 ? p.regWidth : 16);
+  for (unsigned r = 0; r < p.regs; ++r) {
+    regs.push_back(b.makeRegister("r" + std::to_string(r), p.regWidth,
+                                  rng.below(initBound)));
+  }
+  std::vector<rtl::NetId> pool;
+  for (const auto& r : regs) {
+    pool.insert(pool.end(), r.q.begin(), r.q.end());
+  }
+  if (p.withRam) {
+    // A written-and-read RAM so memory faults can surface: a free-running
+    // counter addresses it and writes on odd counts (crosstool pattern).
+    b.setUnit(Unit::Fsm);
+    rtl::Register cnt = b.makeRegister("cnt", 4, 0);
+    b.connect(cnt, b.increment(cnt.q));
+    b.setUnit(Unit::Ram);
+    Bus dout = b.ram("m", 4, 8, cnt.q, b.zeroExtend(cnt.q, 8), cnt.q[0]);
+    pool.insert(pool.end(), dout.begin(), dout.end());
+  }
+  b.setUnit(Unit::Alu);
+  std::vector<rtl::NetId> made;
+  for (unsigned g = 0; g < p.gates; ++g) {
+    const auto pick = [&] { return pool[rng.below(pool.size())]; };
+    rtl::NetId out;
+    switch (rng.below(4)) {
+      case 0: out = b.land(pick(), pick()); break;
+      case 1: out = b.lxor(pick(), pick()); break;
+      case 2: out = b.lnot(pick()); break;
+      default: out = b.lmux(pick(), pick(), pick()); break;
+    }
+    pool.push_back(out);
+    made.push_back(out);
+  }
+  // Publish the first few gate outputs as named HDL signals: the simulator
+  // tool sees combinational targets the way a VHDL flow would.
+  for (unsigned s = 0; s < p.namedSignals && s < made.size(); ++s) {
+    b.nameBus("s" + std::to_string(s), {made[s]});
+  }
+  b.setUnit(Unit::Registers);
+  for (auto& r : regs) {
+    Bus d;
+    for (unsigned k = 0; k < p.regWidth; ++k) {
+      d.push_back(pool[rng.below(pool.size())]);
+    }
+    b.connect(r, d);
+  }
+  Bus out;
+  for (int k = 0; k < 6; ++k) out.push_back(pool[rng.below(pool.size())]);
+  b.output("out", out);
+  return b.finish();
+}
+
+std::string joinProgram(const std::vector<std::string>& lines) {
+  std::string src;
+  for (const auto& line : lines) {
+    src += line;
+    src += '\n';
+  }
+  return src;
+}
+
+}  // namespace
+
+Netlist buildDesign(const CaseSpec& c) {
+  if (c.kind == DesignKind::Rtl) return buildRtl(c.rtl);
+  const auto prog = mc8051::assemble(joinProgram(c.program));
+  return mc8051::buildCore(prog.bytes);
+}
+
+std::vector<std::string> observedOutputs(const CaseSpec& c) {
+  if (c.kind == DesignKind::Rtl) return {"out"};
+  return {"p0", "p1"};
+}
+
+std::vector<std::string> generateProgram(common::Rng& rng, unsigned maxInstr) {
+  std::vector<std::string> lines;
+  const auto imm = [&] {
+    return "#0x" + [&] {
+      char buf[3];
+      std::snprintf(buf, sizeof buf, "%02X",
+                    static_cast<unsigned>(rng.below(256)));
+      return std::string(buf);
+    }();
+  };
+  const auto direct = [&] {
+    // Scratch window 0x30-0x3F: clear of the register banks and the stack.
+    return "0x3" + std::string(1, "0123456789ABCDEF"[rng.below(16)]);
+  };
+  const auto reg = [&] { return "R" + std::to_string(rng.below(8)); };
+  const auto ind = [&] { return std::string(rng.coin() ? "@R0" : "@R1"); };
+
+  // Point the indirect registers at the scratch window and give the ALU
+  // non-trivial starting values. All of this is removable by the shrinker -
+  // execution stays deterministic with the power-on defaults.
+  lines.push_back("        MOV  SP, #0x60");
+  lines.push_back("        MOV  R0, #0x30");
+  lines.push_back("        MOV  R1, #0x38");
+  lines.push_back("        MOV  A, " + imm());
+  lines.push_back("        MOV  B, " + imm());
+
+  for (unsigned i = 0; i < maxInstr; ++i) {
+    switch (rng.below(24)) {
+      case 0: lines.push_back("        MOV  A, " + imm()); break;
+      case 1: lines.push_back("        ADD  A, " + imm()); break;
+      case 2: lines.push_back("        ADDC A, " + reg()); break;
+      case 3: lines.push_back("        SUBB A, " + direct()); break;
+      case 4: lines.push_back("        ANL  A, " + imm()); break;
+      case 5: lines.push_back("        ORL  A, " + reg()); break;
+      case 6: lines.push_back("        XRL  A, " + direct()); break;
+      case 7: lines.push_back("        MOV  " + reg() + ", " + imm()); break;
+      case 8: lines.push_back("        MOV  " + direct() + ", A"); break;
+      case 9: lines.push_back("        MOV  A, " + reg()); break;
+      case 10: lines.push_back("        MOV  " + ind() + ", A"); break;
+      case 11: lines.push_back("        MOV  A, " + ind()); break;
+      case 12: lines.push_back("        MOV  " + direct() + ", " + imm()); break;
+      case 13: lines.push_back("        INC  A"); break;
+      case 14: lines.push_back("        DEC  " + reg()); break;
+      case 15: lines.push_back("        INC  " + direct()); break;
+      case 16: lines.push_back("        RL   A"); break;
+      case 17: lines.push_back("        RRC  A"); break;
+      case 18: lines.push_back("        CPL  A"); break;
+      case 19: lines.push_back("        XCH  A, " + reg()); break;
+      case 20: lines.push_back("        MOV  B, " + imm()); break;
+      case 21: lines.push_back("        MUL  AB"); break;
+      case 22: lines.push_back("        DIV  AB"); break;
+      default:
+        lines.push_back(rng.coin() ? "        SETB C" : "        ADD  A, " +
+                                                            reg());
+        break;
+    }
+  }
+
+  // Expose the ALU result on the ports, then park. The idle loop is the one
+  // line the shrinker must keep: without it execution would run off the end
+  // of the ROM.
+  lines.push_back("        MOV  P1, A");
+  lines.push_back("        MOV  P0, #0x55");
+  lines.push_back("idle:   SJMP idle");
+  return lines;
+}
+
+std::uint64_t programCycles(const std::vector<std::string>& program) {
+  const auto prog = mc8051::assemble(joinProgram(program));
+  mc8051::Iss iss(prog.bytes);
+  constexpr std::uint64_t kCap = 20000;
+  while (iss.cycleCount() < kCap) {
+    const std::uint16_t before = iss.pc();
+    iss.stepInstruction();
+    if (iss.pc() == before) break;  // parked on the idle loop
+  }
+  // Margin past the park point so latent state differences get a chance to
+  // propagate to the ports, and injection instants can land in the tail.
+  return iss.cycleCount() + 8;
+}
+
+namespace {
+
+const char* shortName(FaultModel m) {
+  switch (m) {
+    case FaultModel::BitFlip: return "bitflip";
+    case FaultModel::Pulse: return "pulse";
+    case FaultModel::Delay: return "delay";
+    case FaultModel::Indetermination: return "indet";
+  }
+  return "?";
+}
+
+const char* shortName(TargetClass t) {
+  switch (t) {
+    case TargetClass::SequentialFF: return "ff";
+    case TargetClass::MemoryBlockBit: return "mem";
+    case TargetClass::CombinationalLut: return "lut";
+    case TargetClass::CbInputLine: return "cbin";
+    case TargetClass::SequentialLine: return "seqline";
+    case TargetClass::CombinationalLine: return "combline";
+  }
+  return "?";
+}
+
+std::string caseName(FaultModel m, TargetClass t, DesignKind k,
+                     std::uint64_t seed) {
+  std::string n = std::string(shortName(m)) + "-" + shortName(t) + "-" +
+                  toString(k) + "-";
+  std::string digits = std::to_string(seed);
+  while (digits.size() < 3) digits.insert(digits.begin(), '0');
+  return n + digits;
+}
+
+CaseSpec makeRtlCase(FaultModel m, TargetClass t, std::uint64_t seed) {
+  Rng rng(common::streamSeed(seed, 0xd1ffu));
+  CaseSpec c;
+  c.kind = DesignKind::Rtl;
+  c.name = caseName(m, t, c.kind, seed);
+  c.rtl.seed = 1 + rng.below(1u << 20);
+  c.rtl.regs = 2 + static_cast<unsigned>(rng.below(3));
+  c.rtl.regWidth = 3 + static_cast<unsigned>(rng.below(3));
+  c.rtl.gates = 12 + static_cast<unsigned>(rng.below(16));
+  c.rtl.withRam = t == TargetClass::MemoryBlockBit || rng.below(4) == 0;
+  c.rtl.namedSignals = 3 + static_cast<unsigned>(rng.below(4));
+  c.runCycles = 32 + rng.below(33);
+  c.inject.model = m;
+  c.inject.targets = t;
+  c.inject.unit = static_cast<int>(Unit::None);
+  c.inject.band = DurationBand::paperBands()[rng.below(3)];
+  c.inject.experiments = 2 + static_cast<unsigned>(rng.below(5));
+  c.inject.seed = 1 + rng.below(1u << 20);
+  return c;
+}
+
+CaseSpec makeMcCase(FaultModel m, TargetClass t, std::uint64_t seed) {
+  Rng rng(common::streamSeed(seed, 0x8051u));
+  CaseSpec c;
+  c.kind = DesignKind::Mc8051;
+  c.name = caseName(m, t, c.kind, seed);
+  c.program =
+      generateProgram(rng, 6 + static_cast<unsigned>(rng.below(10)));
+  c.runCycles = programCycles(c.program);
+  c.inject.model = m;
+  c.inject.targets = t;
+  c.inject.unit = static_cast<int>(Unit::None);
+  c.inject.band = DurationBand::paperBands()[rng.below(3)];
+  c.inject.experiments = 2 + static_cast<unsigned>(rng.below(2));
+  c.inject.seed = 1 + rng.below(1u << 20);
+  return c;
+}
+
+struct Combo {
+  FaultModel m;
+  TargetClass t;
+};
+
+// The fault model x target resource matrix of the paper's Table 1, as far
+// as each resource class is injectable by both design families.
+constexpr Combo kCombos[] = {
+    {FaultModel::BitFlip, TargetClass::SequentialFF},
+    {FaultModel::BitFlip, TargetClass::MemoryBlockBit},
+    {FaultModel::Pulse, TargetClass::CombinationalLut},
+    {FaultModel::Pulse, TargetClass::CbInputLine},
+    {FaultModel::Delay, TargetClass::SequentialLine},
+    {FaultModel::Delay, TargetClass::CombinationalLine},
+    {FaultModel::Indetermination, TargetClass::SequentialFF},
+    {FaultModel::Indetermination, TargetClass::CombinationalLut},
+};
+
+}  // namespace
+
+CaseSpec generateCase(std::uint64_t seed) {
+  Rng rng(common::streamSeed(seed, 0xca5eu));
+  Combo combo = kCombos[rng.below(std::size(kCombos))];
+  // Full microcontroller builds cost ~2s of setup each; keep them a modest
+  // slice of the fuzz stream and let cheap RTL circuits carry the volume.
+  if (rng.below(8) == 0) {
+    // CB-input faults attack flip-flops fed through the CB input bypass,
+    // and none of the core's flops place that way - the pool is empty. Aim
+    // the pulse at LUTs instead of generating a known-uninjectable case.
+    if (combo.t == TargetClass::CbInputLine) {
+      combo.t = TargetClass::CombinationalLut;
+    }
+    return makeMcCase(combo.m, combo.t, seed);
+  }
+  return makeRtlCase(combo.m, combo.t, seed);
+}
+
+std::vector<CaseSpec> seedCorpus() {
+  std::vector<CaseSpec> corpus;
+  // Two RTL cases per fault model x target pair (different seeds)...
+  for (std::size_t i = 0; i < std::size(kCombos); ++i) {
+    corpus.push_back(makeRtlCase(kCombos[i].m, kCombos[i].t, 101 + i));
+    corpus.push_back(makeRtlCase(kCombos[i].m, kCombos[i].t, 201 + i));
+  }
+  // ...plus four microcontroller cases covering each fault model once.
+  corpus.push_back(makeMcCase(FaultModel::BitFlip, TargetClass::SequentialFF, 301));
+  corpus.push_back(makeMcCase(FaultModel::BitFlip, TargetClass::MemoryBlockBit, 302));
+  corpus.push_back(makeMcCase(FaultModel::Pulse, TargetClass::CombinationalLut, 303));
+  corpus.push_back(makeMcCase(FaultModel::Indetermination, TargetClass::SequentialFF, 304));
+  return corpus;
+}
+
+}  // namespace fades::diffcheck

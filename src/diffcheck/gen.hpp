@@ -1,0 +1,57 @@
+// Deterministic case generators for differential-oracle fuzzing.
+//
+// Two design families, both pure functions of the CaseSpec:
+//  - parameterized random sequential circuits over the rtl::builder API
+//    (registers + combinational soup + optional RAM), with a configurable
+//    number of HDL-named intermediate signals so VFIT sees a simulator-level
+//    combinational target population;
+//  - random-but-valid MC8051 programs (straight-line code over the
+//    implemented ISA subset) emitted through src/mc8051/assembler and run on
+//    the gate-level core.
+//
+// generateCase() draws a full CaseSpec - design, workload length and an
+// injection spec spanning all four fault models - from a single seed, and
+// seedCorpus() enumerates the committed regression corpus.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "diffcheck/case_spec.hpp"
+#include "netlist/netlist.hpp"
+
+namespace fades::diffcheck {
+
+/// Build the case's netlist. RTL cases come from the parameterized random
+/// generator; MC8051 cases assemble `program` and instantiate the gate-level
+/// core with it in ROM. Throws FadesError on an invalid spec (bad program,
+/// zero-width registers, ...).
+netlist::Netlist buildDesign(const CaseSpec& c);
+
+/// Observed output ports of the case's design ("out" for RTL, p0/p1 for the
+/// microcontroller).
+std::vector<std::string> observedOutputs(const CaseSpec& c);
+
+/// Generate a random straight-line MC8051 program of roughly `maxInstr`
+/// instructions. Always terminates with a completion marker on P0 and an
+/// idle loop; every prefix of the body is also a valid program, which is
+/// what makes line-removal shrinking sound.
+std::vector<std::string> generateProgram(common::Rng& rng, unsigned maxInstr);
+
+/// Workload length for an MC8051 case: ISS cycles until the program parks on
+/// its idle loop, plus a small margin (capped for runaway programs).
+std::uint64_t programCycles(const std::vector<std::string>& program);
+
+/// Draw one full case from a seed. Deterministic; successive seeds cover the
+/// fault-model x target-class matrix (including FADES-only delay cases) with
+/// a bias toward cheap RTL designs over full microcontroller builds.
+CaseSpec generateCase(std::uint64_t seed);
+
+/// The committed seed corpus: ~20 deterministic cases covering every fault
+/// model x target resource pair on both design families. The corpus files
+/// under corpus/diffcheck/ are these specs serialized; regenerate them with
+/// `fuzz_campaign --emit-corpus`.
+std::vector<CaseSpec> seedCorpus();
+
+}  // namespace fades::diffcheck

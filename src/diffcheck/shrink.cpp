@@ -1,0 +1,143 @@
+#include "diffcheck/shrink.hpp"
+
+#include <algorithm>
+#include <future>
+#include <optional>
+
+namespace fades::diffcheck {
+
+namespace {
+
+/// Big-step reductions first (halving), small steps last: the classic
+/// delta-debugging ordering, which converges in O(log) rounds on cases
+/// where a large prefix of the structure is irrelevant.
+void programCandidates(const CaseSpec& c, std::vector<CaseSpec>& out) {
+  const std::size_t n = c.program.size();
+  if (n <= 1) return;  // only the final idle loop left
+  // Chunk removals (never touching the last line: it is the idle loop that
+  // keeps execution from running off the end of the ROM).
+  for (std::size_t len = (n - 1) / 2; len >= 2; len /= 2) {
+    for (std::size_t start = 0; start + len <= n - 1; start += len) {
+      CaseSpec cand = c;
+      cand.program.erase(cand.program.begin() + static_cast<long>(start),
+                         cand.program.begin() + static_cast<long>(start + len));
+      out.push_back(std::move(cand));
+    }
+  }
+  // Single-line removals.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    CaseSpec cand = c;
+    cand.program.erase(cand.program.begin() + static_cast<long>(i));
+    out.push_back(std::move(cand));
+  }
+}
+
+void rtlCandidates(const CaseSpec& c, std::vector<CaseSpec>& out) {
+  const auto with = [&](auto mutate) {
+    CaseSpec cand = c;
+    mutate(cand);
+    out.push_back(std::move(cand));
+  };
+  if (c.rtl.gates > 1) with([](CaseSpec& s) { s.rtl.gates /= 2; });
+  if (c.rtl.gates > 0) with([](CaseSpec& s) { s.rtl.gates -= 1; });
+  if (c.rtl.regs > 1) with([](CaseSpec& s) { s.rtl.regs -= 1; });
+  if (c.rtl.regWidth > 1) with([](CaseSpec& s) { s.rtl.regWidth -= 1; });
+  if (c.rtl.withRam &&
+      c.inject.targets != campaign::TargetClass::MemoryBlockBit) {
+    with([](CaseSpec& s) { s.rtl.withRam = false; });
+  }
+  if (c.rtl.namedSignals > 1) with([](CaseSpec& s) { s.rtl.namedSignals /= 2; });
+}
+
+bool matching(const std::vector<Violation>& violations,
+              const std::string& rule, Violation& found) {
+  for (const auto& v : violations) {
+    if (v.rule == rule) {
+      found = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<CaseSpec> shrinkCandidates(const CaseSpec& c) {
+  std::vector<CaseSpec> out;
+  if (c.kind == DesignKind::Mc8051) {
+    programCandidates(c, out);
+  } else {
+    rtlCandidates(c, out);
+  }
+  // Shared reductions: fewer experiments, then a shorter workload. A
+  // shorter workload also pulls the injection instant earlier (instants are
+  // drawn uniformly below runCycles).
+  const auto with = [&](auto mutate) {
+    CaseSpec cand = c;
+    mutate(cand);
+    out.push_back(std::move(cand));
+  };
+  if (c.inject.experiments > 1) {
+    with([](CaseSpec& s) { s.inject.experiments = 1; });
+    with([](CaseSpec& s) { s.inject.experiments -= 1; });
+  }
+  if (c.runCycles > 4) with([](CaseSpec& s) { s.runCycles /= 2; });
+  if (c.runCycles > 2) with([](CaseSpec& s) { s.runCycles -= 1; });
+  return out;
+}
+
+ShrinkResult shrinkCase(const CaseSpec& failing, const Violation& violation,
+                        const CaseOracle& oracle, ShrinkOptions opt) {
+  ShrinkResult result;
+  result.minimal = failing;
+  result.violation = violation;
+  const unsigned jobs = std::max(1u, opt.jobs);
+
+  // Evaluate safely: an oracle exception (unbuildable candidate, assembler
+  // error after a line removal, ...) means "does not reproduce".
+  const auto evaluate = [&](const CaseSpec& cand) -> std::optional<Violation> {
+    try {
+      Violation found;
+      if (matching(oracle(cand), violation.rule, found)) return found;
+    } catch (...) {
+    }
+    return std::nullopt;
+  };
+
+  for (;;) {
+    const std::vector<CaseSpec> cands = shrinkCandidates(result.minimal);
+    bool acceptedThisRound = false;
+    for (std::size_t base = 0; base < cands.size() && !acceptedThisRound;
+         base += jobs) {
+      const std::size_t batchEnd = std::min(cands.size(), base + jobs);
+      // Evaluate the batch concurrently, then scan it in order. Only the
+      // candidates the sequential scan would have examined are charged, so
+      // budget consumption - and with it the full reduction trajectory -
+      // is independent of the job count.
+      std::vector<std::future<std::optional<Violation>>> batch;
+      for (std::size_t k = base; k < batchEnd; ++k) {
+        batch.push_back(std::async(std::launch::async, evaluate,
+                                   std::cref(cands[k])));
+      }
+      std::vector<std::optional<Violation>> got(batch.size());
+      for (std::size_t k = 0; k < batch.size(); ++k) got[k] = batch[k].get();
+      for (std::size_t k = 0; k < got.size(); ++k) {
+        if (result.evaluated >= opt.maxEvaluations) {
+          result.budgetExhausted = true;
+          return result;
+        }
+        ++result.evaluated;
+        if (got[k].has_value()) {
+          result.minimal = cands[base + k];
+          result.violation = *got[k];
+          ++result.accepted;
+          acceptedThisRound = true;
+          break;
+        }
+      }
+    }
+    if (!acceptedThisRound) return result;  // local minimum
+  }
+}
+
+}  // namespace fades::diffcheck

@@ -1,0 +1,57 @@
+// Case minimization: greedy reduction of a failing differential case to a
+// minimal reproducer.
+//
+// The shrinker repeatedly proposes reduced variants of the case - fewer
+// program instructions, a smaller circuit, a shorter workload (and with it
+// an earlier injection instant), fewer experiments - and keeps a variant iff
+// the oracle still reports a violation of the SAME rule. Candidates within a
+// round are proposed in a fixed order and the first reproducing one wins, so
+// the minimal case is a pure function of (case, oracle, budget): evaluating
+// candidates on 1 worker or 8 yields the identical reproducer. The oracle is
+// injected as a function so tests can plant synthetic failures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "diffcheck/case_spec.hpp"
+#include "diffcheck/oracle.hpp"
+
+namespace fades::diffcheck {
+
+/// Oracle the shrinker drives: all violations for a candidate case. The
+/// production oracle is wrapped as `[&](const CaseSpec& s) {
+/// return checkCase(s, opt).violations; }`; tests substitute synthetic ones.
+/// Exceptions thrown by the oracle mark the candidate as non-reproducing.
+using CaseOracle = std::function<std::vector<Violation>(const CaseSpec&)>;
+
+struct ShrinkOptions {
+  /// Concurrent candidate evaluations. Only wall-clock changes with this:
+  /// the evaluation charge and the accepted candidate sequence are those of
+  /// the sequential scan.
+  unsigned jobs = 1;
+  /// Oracle-call budget; the shrinker returns its best-so-far when spent.
+  unsigned maxEvaluations = 200;
+};
+
+struct ShrinkResult {
+  CaseSpec minimal;
+  /// The target rule's violation as observed on `minimal` (the input
+  /// violation when no reduction was accepted).
+  Violation violation;
+  unsigned accepted = 0;   // reductions that kept the violation alive
+  unsigned evaluated = 0;  // oracle calls charged against the budget
+  bool budgetExhausted = false;
+};
+
+/// Reduce `failing` (known to violate `violation.rule` under `oracle`) to a
+/// locally-minimal case that still violates the same rule.
+ShrinkResult shrinkCase(const CaseSpec& failing, const Violation& violation,
+                        const CaseOracle& oracle, ShrinkOptions opt = {});
+
+/// The reduction candidates of one round, in acceptance-priority order.
+/// Exposed for tests (ordering is part of the determinism contract).
+std::vector<CaseSpec> shrinkCandidates(const CaseSpec& c);
+
+}  // namespace fades::diffcheck

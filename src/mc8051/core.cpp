@@ -262,7 +262,12 @@ netlist::Netlist buildCore(const std::vector<std::uint8_t>& program,
   b.connect(op2, b.bMux(inOp2, romData, op2.q));
   b.setUnit(Unit::MemCtrl);
   b.connect(tmp, b.bMux(inRet2, iramData, tmp.q));
-  b.connect(riAddr, b.bMux(inRdri, b.slice(iramData, 0, 7), riAddr.q));
+  // The IRAM read launched in RDRI lands on iramData one cycle later (the
+  // RAM is synchronous, read-first), i.e. during RD - latching in RDRI
+  // would capture the previous read instead of Ri's content.
+  b.connect(riAddr,
+            b.bMux(b.land(inRd, isIndirect), b.slice(iramData, 0, 7),
+                   riAddr.q));
 
   // ------------------------------------------------------------- ALU -------
   b.setUnit(Unit::Alu);
@@ -435,9 +440,14 @@ netlist::Netlist buildCore(const std::vector<std::uint8_t>& program,
                          {rnSrc, bank},
                          {isIndirect, b.slice(iramData, 0, 7)}});
   // Exec-state (write) address.
+  // Write-only indirect forms (MOV @Ri,A / MOV @Ri,#imm) skip the RD state,
+  // so at EXEC Ri's content is still sitting on the IRAM output; the
+  // read-modify forms latched it into riAddr during RD.
+  Bus indWrAddr =
+      b.bMux(indWrites, b.slice(iramData, 0, 7), riAddr.q);
   Bus wrAddr = b.select(b.slice(dstDirAddr, 0, 7),
                         {{dstRn, bank},
-                         {dstInd, riAddr.q},
+                         {dstInd, indWrAddr},
                          {orOf({isPush, isLcall}), b.slice(spPlus1, 0, 7)}});
 
   Bus iramAddrValue = b.select(

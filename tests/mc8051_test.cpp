@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <set>
 #include <sstream>
+#include <string>
 
 #include "common/error.hpp"
 #include "mc8051/assembler.hpp"
@@ -425,6 +428,194 @@ TEST(Core, MulDivMatchIssExhaustively) {
     }
   }
 }
+
+// ------------------------------------------------- ISA conformance table ----
+//
+// One lockstep case per Op enumerator. Every case runs the same prologue
+// (which places distinctive values in ACC, B, CY, R0-R7 and two scratch
+// bytes), then the opcode under test, then an epilogue that snapshots PSW
+// into iram[0x3F] and raises a completion marker on P0. The RTL core and
+// the ISS execute the identical program and must agree on ACC, SP, P0, P1,
+// PC and all 128 bytes of internal RAM - so data results, stack effects and
+// every PSW flag (CY/AC/OV/P) are all covered by one comparison.
+//
+// The table is the single source of truth: each entry names its Op
+// enumerator, so an opcode removed or renamed in isa.hpp is a compile
+// error here, and TableCoversEveryImplementedOpcode sweeps the full
+// [0x00, 0xFF] encoding space to fail when the decoder implements an
+// opcode the table does not exercise (or vice versa).
+
+struct IsaConformanceCase {
+  Op op;             // canonical opcode (family base for +n / +i forms)
+  const char* name;  // gtest-safe case name
+  const char* body;  // snippet inserted between the shared prologue/epilogue
+};
+
+constexpr const char* kIsaPrologue =
+    "MOV SP, #0x50\n"
+    "MOV 0x30, #0x5A\n"
+    "MOV 0x31, #0xC3\n"
+    "MOV R0, #0x30\n"
+    "MOV R1, #0x31\n"
+    "MOV R2, #0x02\n"
+    "MOV R3, #0x7F\n"
+    "MOV R4, #0xFE\n"
+    "MOV R5, #0x01\n"
+    "MOV R6, #0x80\n"
+    "MOV R7, #0x0F\n"
+    "MOV B, #0x11\n"
+    "MOV A, #0x96\n"
+    "SETB C\n";
+
+constexpr const char* kIsaEpilogue =
+    "\nMOV 0x3F, PSW\n"
+    "MOV P0, #0x99\n"
+    "fin: SJMP $\n";
+
+constexpr IsaConformanceCase kIsaConformance[] = {
+    {OP_NOP, "NOP", "NOP"},
+    {OP_LJMP, "LJMP", "LJMP lj\nMOV 0x32, #1\nlj: NOP"},
+    {OP_RR_A, "RR_A", "RR A"},
+    {OP_INC_A, "INC_A", "INC A"},
+    {OP_INC_DIR, "INC_DIR", "INC 0x30"},
+    {OP_INC_IND, "INC_IND", "INC @R0"},
+    {OP_INC_RN, "INC_RN", "INC R2"},
+    {OP_LCALL, "LCALL", "LCALL cs\nSJMP cd\ncs: INC R2\nRET\ncd: NOP"},
+    {OP_RRC_A, "RRC_A", "RRC A"},
+    {OP_DEC_A, "DEC_A", "DEC A"},
+    {OP_DEC_DIR, "DEC_DIR", "DEC 0x31"},
+    {OP_DEC_IND, "DEC_IND", "DEC @R1"},
+    {OP_DEC_RN, "DEC_RN", "DEC R5"},  // 1 -> 0 crosses the zero boundary
+    {OP_RET, "RET", "LCALL rs\nSJMP rd\nrs: MOV 0x32, #0x21\nRET\nrd: NOP"},
+    {OP_RL_A, "RL_A", "RL A"},
+    // 0x96 + 0x6A == 0x100: sets CY and leaves ACC zero.
+    {OP_ADD_IMM, "ADD_IMM", "ADD A, #0x6A"},
+    {OP_ADD_DIR, "ADD_DIR", "ADD A, 0x30"},
+    {OP_ADD_IND, "ADD_IND", "ADD A, @R0"},
+    // 0x96 + 0x7F: signed overflow plus auxiliary carry.
+    {OP_ADD_RN, "ADD_RN", "ADD A, R3"},
+    {OP_RLC_A, "RLC_A", "RLC A"},
+    {OP_ADDC_IMM, "ADDC_IMM", "ADDC A, #0x69"},
+    {OP_ADDC_DIR, "ADDC_DIR", "ADDC A, 0x31"},
+    {OP_ADDC_IND, "ADDC_IND", "ADDC A, @R1"},
+    {OP_ADDC_RN, "ADDC_RN", "ADDC A, R4"},
+    {OP_JC, "JC", "JC jc1\nMOV 0x32, #1\njc1: CLR C\nJC jc2\nMOV 0x33, #2\njc2: NOP"},
+    {OP_ORL_A_IMM, "ORL_A_IMM", "ORL A, #0x0F"},
+    {OP_ORL_A_DIR, "ORL_A_DIR", "ORL A, 0x30"},
+    {OP_ORL_A_RN, "ORL_A_RN", "ORL A, R6"},
+    {OP_JNC, "JNC", "JNC nc1\nMOV 0x32, #3\nnc1: CLR C\nJNC nc2\nMOV 0x33, #4\nnc2: NOP"},
+    // 0x96 / 0x11: quotient 8 remainder 14, clears CY and OV.
+    {OP_DIV_AB, "DIV_AB", "DIV AB"},
+    // 0x96 * 0x11 == 0x09F6 > 0xFF: sets OV, clears CY.
+    {OP_MUL_AB, "MUL_AB", "MUL AB"},
+    {OP_ANL_A_IMM, "ANL_A_IMM", "ANL A, #0x3C"},
+    {OP_ANL_A_DIR, "ANL_A_DIR", "ANL A, 0x30"},
+    {OP_ANL_A_RN, "ANL_A_RN", "ANL A, R7"},
+    {OP_JZ, "JZ", "JZ z1\nMOV 0x32, #5\nz1: CLR A\nJZ z2\nMOV 0x33, #6\nz2: NOP"},
+    {OP_XRL_A_IMM, "XRL_A_IMM", "XRL A, #0xFF"},
+    {OP_XRL_A_DIR, "XRL_A_DIR", "XRL A, 0x30"},
+    {OP_XRL_A_RN, "XRL_A_RN", "XRL A, R4"},
+    {OP_JNZ, "JNZ", "JNZ n1\nMOV 0x32, #7\nn1: CLR A\nJNZ n2\nMOV 0x33, #8\nn2: NOP"},
+    {OP_MOV_A_IMM, "MOV_A_IMM", "MOV A, #0x21"},
+    {OP_MOV_DIR_IMM, "MOV_DIR_IMM", "MOV 0x35, #0x77"},
+    {OP_MOV_IND_IMM, "MOV_IND_IMM", "MOV @R0, #0x44"},
+    {OP_MOV_RN_IMM, "MOV_RN_IMM", "MOV R4, #0x13"},
+    {OP_SJMP, "SJMP", "SJMP sj\nMOV 0x32, #9\nsj: NOP"},
+    {OP_MOV_DIR_DIR, "MOV_DIR_DIR", "MOV 0x36, 0x30"},
+    {OP_MOV_DIR_RN, "MOV_DIR_RN", "MOV 0x37, R7"},
+    // 0x96 - 0x17 - CY(1): exercises the borrow chain.
+    {OP_SUBB_IMM, "SUBB_IMM", "SUBB A, #0x17"},
+    {OP_SUBB_DIR, "SUBB_DIR", "SUBB A, 0x31"},  // result underflows: sets CY
+    {OP_SUBB_IND, "SUBB_IND", "SUBB A, @R0"},
+    {OP_SUBB_RN, "SUBB_RN", "SUBB A, R2"},
+    {OP_MOV_RN_DIR, "MOV_RN_DIR", "MOV R3, 0x30"},
+    {OP_CPL_C, "CPL_C", "CPL C"},
+    {OP_CJNE_A_IMM, "CJNE_A_IMM",
+     "CJNE A, #0x96, ce\nMOV 0x32, #10\nce: CJNE A, #0xA0, cf\nMOV 0x33, #11\ncf: NOP"},
+    {OP_CJNE_A_DIR, "CJNE_A_DIR", "CJNE A, 0x30, cg\nMOV 0x32, #12\ncg: NOP"},
+    {OP_CJNE_IND_IMM, "CJNE_IND_IMM", "CJNE @R0, #0x5A, ch\nMOV 0x32, #13\nch: NOP"},
+    {OP_CJNE_RN_IMM, "CJNE_RN_IMM", "CJNE R2, #0x03, ci\nMOV 0x32, #14\nci: NOP"},
+    {OP_PUSH, "PUSH", "PUSH 0x30"},
+    {OP_CLR_C, "CLR_C", "CLR C"},
+    {OP_XCH_A_DIR, "XCH_A_DIR", "XCH A, 0x31"},
+    {OP_XCH_A_RN, "XCH_A_RN", "XCH A, R6"},
+    {OP_POP, "POP", "PUSH 0x30\nPOP 0x38"},
+    {OP_SETB_C, "SETB_C", "CLR C\nSETB C"},
+    {OP_DJNZ_DIR, "DJNZ_DIR", "MOV 0x39, #2\ndj: DJNZ 0x39, dj"},
+    {OP_DJNZ_RN, "DJNZ_RN", "dk: DJNZ R2, dk"},
+    {OP_CLR_A, "CLR_A", "CLR A"},
+    {OP_MOV_A_DIR, "MOV_A_DIR", "MOV A, 0x31"},
+    {OP_MOV_A_IND, "MOV_A_IND", "MOV A, @R1"},
+    {OP_MOV_A_RN, "MOV_A_RN", "MOV A, R4"},
+    {OP_CPL_A, "CPL_A", "CPL A"},
+    {OP_MOV_DIR_A, "MOV_DIR_A", "MOV 0x3A, A"},
+    {OP_MOV_IND_A, "MOV_IND_A", "MOV @R1, A"},
+    {OP_MOV_RN_A, "MOV_RN_A", "MOV R0, A"},
+};
+
+// isa.hpp currently defines 72 opcodes. The sweep test below enforces the
+// real invariant (table <-> decoder agreement); this just makes an edit to
+// either side show up as a compile-time diff instead of a silent skew.
+static_assert(std::size(kIsaConformance) == 72,
+              "keep kIsaConformance in sync with the Op enum in isa.hpp");
+
+// Reduce an arbitrary encoding to the canonical Op the table uses. In the
+// MCS-51 map, low nibbles 0x8..0xF are register forms (+n) and low nibbles
+// 0x6..0x7 are indirect forms (+i); every other opcode is its own canon.
+std::uint8_t canonicalOpcode(std::uint8_t opcode) {
+  const unsigned nibble = opcode & 0x0F;
+  if (nibble >= 0x8) return opcode & 0xF8;
+  if (nibble == 0x6 || nibble == 0x7) return opcode & 0xFE;
+  return opcode;
+}
+
+TEST(IsaConformance, TableCoversEveryImplementedOpcode) {
+  std::set<std::uint8_t> tabled;
+  for (const auto& c : kIsaConformance) {
+    EXPECT_TRUE(tabled.insert(c.op).second)
+        << "duplicate table entry " << c.name;
+    EXPECT_TRUE(isImplemented(c.op))
+        << c.name << " is in the table but not in the decoder";
+  }
+  for (unsigned opcode = 0; opcode < 256; ++opcode) {
+    const auto op = static_cast<std::uint8_t>(opcode);
+    if (!isImplemented(op)) continue;
+    EXPECT_TRUE(tabled.count(canonicalOpcode(op)))
+        << "opcode 0x" << std::hex << opcode
+        << " is implemented but has no conformance case";
+  }
+}
+
+class IsaConformance : public ::testing::TestWithParam<IsaConformanceCase> {};
+
+TEST_P(IsaConformance, RtlMatchesIssInLockstep) {
+  const IsaConformanceCase& c = GetParam();
+  const std::string src =
+      std::string(kIsaPrologue) + c.body + kIsaEpilogue;
+  const auto p = assemble(src);
+  // The snippet must actually contain the opcode it claims to exercise.
+  bool found = false;
+  for (std::size_t i = 0; i < p.bytes.size();
+       i += instructionLength(p.bytes[i])) {
+    ASSERT_NE(instructionLength(p.bytes[i]), 0u);
+    if (canonicalOpcode(p.bytes[i]) == c.op) found = true;
+  }
+  ASSERT_TRUE(found) << c.name << " snippet never executes its opcode";
+
+  Iss probe(p.bytes);
+  std::uint64_t guard = 0;
+  while (probe.p0() != 0x99 && ++guard < 10000) probe.stepInstruction();
+  ASSERT_EQ(probe.p0(), 0x99) << c.name << " never reached the end marker";
+
+  RtlIss rig(p.bytes);
+  rig.compareAfter(probe.cycleCount() + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, IsaConformance,
+                         ::testing::ValuesIn(kIsaConformance),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
 
 TEST(Workloads, DotProductUsesMultiplier) {
   const Workload w = dotproduct(6);

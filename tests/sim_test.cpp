@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "rtl/builder.hpp"
 #include "sim/simulator.hpp"
+#include "sim/vcd.hpp"
 
 namespace fades::sim {
 namespace {
@@ -281,6 +286,49 @@ TEST(Sim, DeterministicAcrossInstances) {
     s2.step();
     ASSERT_EQ(s1.portValue("lfsr"), s2.portValue("lfsr")) << "cycle " << i;
   }
+}
+
+// ----------------------------------------------------------- VCD golden -----
+
+TEST(Vcd, MatchesGoldenFileByteForByte) {
+  // The reference trace under tests/data/ pins down the exact VCD text the
+  // writer produces for a fixed circuit: header layout, identifier codes,
+  // MSB-first bus emission, change-only timestamps. Any formatting drift
+  // shows up as a diff against a committed, reviewable file. To regenerate
+  // after an intentional change:
+  //   FADES_REGEN_GOLDEN=1 ./tests/test_sim --gtest_filter='Vcd.Matches*'
+  Builder b;
+  b.setUnit(Unit::Registers);
+  Register counter = b.makeRegister("cnt", 4, 0);
+  b.connect(counter, b.increment(counter.q));
+  Register lfsr = b.makeRegister("lfsr", 4, 0x9);
+  Bus next{b.lxor(lfsr.q[3], lfsr.q[2])};
+  for (int i = 0; i < 3; ++i) next.push_back(lfsr.q[i]);
+  b.connect(lfsr, next);
+  b.output("cnt", counter.q);
+  b.output("lfsr", lfsr.q);
+  b.output("mix", b.lxor(counter.q[0], lfsr.q[3]));
+  Netlist nl = b.finish();
+
+  Simulator s(nl);
+  VcdWriter vcd(s, nl);
+  vcd.addAllOutputs();
+  for (std::uint64_t cycle = 0; cycle < 16; ++cycle) {
+    vcd.sample(cycle);
+    s.step();
+  }
+
+  const std::string goldenPath =
+      std::string(FADES_TEST_DATA_DIR) + "/golden.vcd";
+  if (std::getenv("FADES_REGEN_GOLDEN") != nullptr) {
+    vcd.save(goldenPath);
+    GTEST_SKIP() << "regenerated " << goldenPath;
+  }
+  std::ifstream in(goldenPath, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << goldenPath;
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(vcd.str(), golden.str());
 }
 
 }  // namespace
