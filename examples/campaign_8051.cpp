@@ -53,6 +53,7 @@
 #include "core/fades.hpp"
 #include "fpga/device.hpp"
 #include "mc8051/core.hpp"
+#include "mc8051/iss.hpp"
 #include "mc8051/workloads.hpp"
 #include "synth/implement.hpp"
 
@@ -198,6 +199,19 @@ int main(int argc, char** argv) {
   // the per-experiment records regardless so the JSON carries every row.
   options.keepRecords = faults <= 40 || !artifactPath.empty();
   options.sessionFrameCache = frameCache;
+  if (options.keepRecords) {
+    // Golden-run PC attribution: one ISS pass over the workload gives the
+    // instruction in flight at every cycle; records then carry the PC and
+    // opcode under each injection instant. Shared across device replicas.
+    mc8051::Iss iss(workload.bytes);
+    const auto samples = iss.tracePcPerCycle(workload.cycles);
+    auto trace = std::make_shared<campaign::InstructionTrace>();
+    trace->reserve(samples.size());
+    for (const auto& s : samples) {
+      trace->push_back(campaign::InstructionSample{s.pc, s.opcode});
+    }
+    options.instructionTrace = std::move(trace);
+  }
   if (linkFaultRate > 0.0) {
     options.linkFaults.readCrcRate = linkFaultRate;
     options.linkFaults.writeFailRate = linkFaultRate;

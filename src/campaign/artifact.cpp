@@ -32,11 +32,66 @@ Json toJson(const CampaignSpec& spec) {
 Json toJson(const ExperimentRecord& record) {
   Json j = Json::object();
   j.set("target", Json(record.targetName));
+  j.set("component", Json(record.component));
   j.set("inject_cycle", Json(record.injectCycle));
   j.set("duration_cycles", Json(record.durationCycles));
   j.set("outcome", Json(std::string(toString(record.outcome))));
   j.set("modeled_seconds", Json(record.modeledSeconds));
+  // Attribution fields are always present (-1 = not available) so the
+  // record schema is byte-stable whether or not a trace was attached.
+  j.set("pc", Json(record.pc));
+  j.set("opcode", Json(record.opcode));
+  j.set("detect_cycle", Json(record.detectCycle));
   return j;
+}
+
+namespace {
+
+bool fieldU64(const Json& j, const char* key, std::uint64_t& out) {
+  const Json* f = j.find(key);
+  if (f == nullptr || !f->isNumber()) return false;
+  out = static_cast<std::uint64_t>(f->asInt());
+  return true;
+}
+
+bool fieldI64(const Json& j, const char* key, std::int64_t& out) {
+  const Json* f = j.find(key);
+  if (f == nullptr || !f->isNumber()) return false;
+  out = f->asInt();
+  return true;
+}
+
+bool fieldDouble(const Json& j, const char* key, double& out) {
+  const Json* f = j.find(key);
+  if (f == nullptr || !f->isNumber()) return false;
+  out = f->asNumber();
+  return true;
+}
+
+bool fieldString(const Json& j, const char* key, std::string& out) {
+  const Json* f = j.find(key);
+  if (f == nullptr || !f->isString()) return false;
+  out = f->asString();
+  return true;
+}
+
+}  // namespace
+
+bool recordFromJson(const Json& j, ExperimentRecord& out) {
+  out = ExperimentRecord{};
+  std::string outcome;
+  if (!j.isObject() || !fieldString(j, "target", out.targetName) ||
+      !fieldU64(j, "inject_cycle", out.injectCycle) ||
+      !fieldDouble(j, "duration_cycles", out.durationCycles) ||
+      !fieldString(j, "outcome", outcome) ||
+      !fieldDouble(j, "modeled_seconds", out.modeledSeconds)) {
+    return false;
+  }
+  fieldString(j, "component", out.component);
+  fieldI64(j, "pc", out.pc);
+  fieldI64(j, "opcode", out.opcode);
+  fieldI64(j, "detect_cycle", out.detectCycle);
+  return outcomeFromString(outcome, out.outcome);
 }
 
 Json toJson(const CostBreakdown& cost) {

@@ -14,6 +14,12 @@ namespace fades::campaign {
 obs::Json toJson(const DurationBand& band);
 obs::Json toJson(const CampaignSpec& spec);
 obs::Json toJson(const ExperimentRecord& record);
+
+/// Inverse of toJson(ExperimentRecord), shared by the journal reader and
+/// the analytics artifact loader. The attribution fields (component, pc,
+/// opcode, detect_cycle) are optional: records written before vulnerability
+/// analytics lack them and keep their defaults.
+bool recordFromJson(const obs::Json& j, ExperimentRecord& out);
 obs::Json toJson(const CostBreakdown& cost);
 /// Full result: spec, outcome tallies/percentages, modeled-seconds summary,
 /// cost decomposition and (when kept) per-experiment records.

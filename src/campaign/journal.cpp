@@ -47,18 +47,6 @@ bool readString(const Json& j, const char* key, std::string& out) {
   return true;
 }
 
-bool parseRecord(const Json& j, ExperimentRecord& out) {
-  std::string outcome;
-  if (!readString(j, "target", out.targetName) ||
-      !readU64(j, "inject_cycle", out.injectCycle) ||
-      !readDouble(j, "duration_cycles", out.durationCycles) ||
-      !readString(j, "outcome", outcome) ||
-      !readDouble(j, "modeled_seconds", out.modeledSeconds)) {
-    return false;
-  }
-  return outcomeFromString(outcome, out.outcome);
-}
-
 std::string readAll(std::FILE* f) {
   std::string content;
   char buf[1 << 16];
@@ -131,7 +119,7 @@ bool CampaignJournal::parseOutcomeLine(const std::string& line,
     return false;
   }
   if (const Json* record = j.find("record")) {
-    if (!record->isObject() || !parseRecord(*record, out.record)) return false;
+    if (!recordFromJson(*record, out.record)) return false;
     out.hasRecord = true;
   }
   return true;

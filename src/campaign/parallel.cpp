@@ -34,6 +34,7 @@ ProgressTracker::ProgressTracker(std::string model, unsigned total,
     : model_(std::move(model)),
       total_(total),
       interval_(interval),
+      start_(std::chrono::steady_clock::now()),
       gauge_(obs::Registry::global().gauge("campaign.progress_pct")) {
   gauge_.set(0.0);
 }
@@ -54,13 +55,27 @@ void ProgressTracker::record(const ExperimentOutcome& outcome) {
   }
   if (done_ % interval_ != 0 && done_ != total_) return;
   gauge_.set(100.0 * done_ / total_);
+  // ETA from observed rates: wall-clock extrapolates elapsed time per
+  // completed experiment, modeled extrapolates the accumulated per-fault
+  // board seconds (quarantined experiments carry no modeled cost, so they
+  // feed the wall rate only).
+  const unsigned remaining = total_ > done_ ? total_ - done_ : 0;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double etaWall = elapsed / done_ * remaining;
+  const std::size_t tallied = failures_ + latents_ + silents_;
+  const double etaModeled =
+      tallied == 0 ? 0.0 : modeledSum_ / tallied * remaining;
   FADES_LOG(Info) << "campaign progress" << obs::kv("model", model_)
                   << obs::kv("done", done_) << obs::kv("total", total_)
                   << obs::kv("failures", failures_)
                   << obs::kv("latents", latents_)
                   << obs::kv("silents", silents_)
                   << obs::kv("quarantined", quarantined_)
-                  << obs::kv("modeled_s", modeledSum_);
+                  << obs::kv("modeled_s", modeledSum_)
+                  << obs::kv("eta_wall_s", etaWall)
+                  << obs::kv("eta_modeled_s", etaModeled);
 }
 
 // ---------------------------------------------------------------------------

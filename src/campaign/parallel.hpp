@@ -19,6 +19,7 @@
 // seconds model ONE board: sharding never reduces them.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -70,8 +71,12 @@ using EngineFactory = std::function<std::unique_ptr<CampaignEngine>()>;
 
 /// Campaign-level progress heartbeat: one `campaign.progress_pct` gauge and
 /// one structured log line per interval for the whole campaign, regardless
-/// of how many shards feed it. Thread-safe; with interval 0 only the gauge
-/// reset happens and record() is a cheap no-op.
+/// of how many shards feed it. Each heartbeat line carries an ETA - both
+/// remaining wall-clock seconds (observed completion rate) and remaining
+/// modeled board seconds (the CostBreakdown rate accumulated so far) - so an
+/// operator can tell "how long until this terminal is free" apart from "how
+/// much emulation time is still ahead". Thread-safe; with interval 0 only
+/// the gauge reset happens and record() is a cheap no-op.
 class ProgressTracker {
  public:
   ProgressTracker(std::string model, unsigned total, unsigned interval);
@@ -89,6 +94,7 @@ class ProgressTracker {
   std::size_t silents_ = 0;
   std::size_t quarantined_ = 0;
   double modeledSum_ = 0;
+  std::chrono::steady_clock::time_point start_;
   obs::Gauge& gauge_;
 };
 

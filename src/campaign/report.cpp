@@ -5,27 +5,14 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "obs/csv.hpp"
 
 namespace fades::campaign {
 
 using common::ErrorKind;
 using common::fixed;
 using common::require;
-
-namespace {
-
-std::string csvQuote(const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
-}  // namespace
+using obs::csvQuote;
 
 std::string toMarkdown(const std::string& title,
                        const std::vector<ReportEntry>& entries) {
@@ -67,13 +54,40 @@ std::string toCsv(const std::vector<ReportEntry>& entries) {
 std::string recordsToCsv(const CampaignResult& result) {
   require(!result.records.empty(), ErrorKind::InvalidArgument,
           "campaign was run without keepRecords");
-  std::string out = "target,inject_cycle,duration_cycles,outcome,seconds\n";
+  std::string out =
+      "target,component,inject_cycle,duration_cycles,outcome,seconds,pc,"
+      "opcode,detect_cycle\n";
   for (const auto& rec : result.records) {
-    out += csvQuote(rec.targetName) + "," +
+    out += csvQuote(rec.targetName) + "," + csvQuote(rec.component) + "," +
            std::to_string(rec.injectCycle) + "," +
            fixed(rec.durationCycles, 3) + "," + toString(rec.outcome) + "," +
-           fixed(rec.modeledSeconds, 6) + "\n";
+           fixed(rec.modeledSeconds, 6) + "," + std::to_string(rec.pc) + "," +
+           std::to_string(rec.opcode) + "," +
+           std::to_string(rec.detectCycle) + "\n";
   }
+  return out;
+}
+
+std::string renderCsv(const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::string out = obs::csvLine(header);
+  for (const auto& row : rows) out += obs::csvLine(row);
+  return out;
+}
+
+std::string renderMarkdownTable(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  auto renderRow = [](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (const auto& c : cells) line += " " + c + " |";
+    return line + "\n";
+  };
+  std::string out = renderRow(header);
+  out += "|";
+  for (std::size_t c = 0; c < header.size(); ++c) out += "---|";
+  out += "\n";
+  for (const auto& row : rows) out += renderRow(row);
   return out;
 }
 

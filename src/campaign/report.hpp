@@ -28,6 +28,17 @@ std::string toCsv(const std::vector<ReportEntry>& entries);
 /// Per-experiment CSV (requires results collected with keepRecords).
 std::string recordsToCsv(const CampaignResult& result);
 
+/// CSV from pre-formatted cells - the CSV counterpart of
+/// common::renderTable. Every field is quoted through obs::csvQuote, the
+/// one CSV-quoting implementation in the tree.
+std::string renderCsv(const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows);
+
+/// GitHub-style markdown pipe table from pre-formatted cells.
+std::string renderMarkdownTable(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows);
+
 /// Write text to a file; throws on I/O failure.
 void writeTextFile(const std::string& path, const std::string& text);
 

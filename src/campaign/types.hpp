@@ -85,12 +85,35 @@ struct CampaignSpec {
   std::vector<std::uint32_t> targetPool;
 };
 
+/// One golden-run instruction sample: the instruction in flight during a
+/// given clock cycle. Produced by an ISS trace hook (mc8051::Iss::
+/// tracePcPerCycle) and attached to the injectors via their options so each
+/// experiment record carries CFA-style root-cause attribution.
+struct InstructionSample {
+  std::uint32_t pc = 0;
+  std::uint32_t opcode = 0;
+};
+/// Indexed by cycle: entry c describes the instruction executing at cycle c.
+using InstructionTrace = std::vector<InstructionSample>;
+
 struct ExperimentRecord {
   std::string targetName;
   std::uint64_t injectCycle = 0;
   double durationCycles = 0;
   Outcome outcome = Outcome::Silent;
   double modeledSeconds = 0;
+  /// Component attribution: the functional unit of the injected site, as a
+  /// netlist::toString(Unit) name ("registers", "alu", "fsm", "memctrl",
+  /// "ram"; "none" when the site belongs to no unit).
+  std::string component;
+  /// Golden-run instruction in flight at the injection instant (root-cause
+  /// attribution); -1 when no instruction trace was attached to the tool.
+  std::int64_t pc = -1;
+  std::int64_t opcode = -1;
+  /// First cycle whose observed outputs diverged from the golden run, so
+  /// detectCycle - injectCycle is the fault latency; -1 when the output
+  /// trace never diverged (silent and latent outcomes).
+  std::int64_t detectCycle = -1;
 };
 
 /// Self-contained result of one campaign experiment. Both the serial

@@ -243,6 +243,29 @@ std::string FadesTool::targetName(TargetClass cls,
   return "?";
 }
 
+Unit FadesTool::targetUnit(TargetClass cls, std::uint32_t target) const {
+  switch (cls) {
+    case TargetClass::SequentialFF:
+    case TargetClass::CbInputLine:
+      return impl_.flops[target].unit;
+    case TargetClass::MemoryBlockBit: {
+      const unsigned block = target >> 16;
+      for (const auto& r : impl_.rams) {
+        for (const auto& s : r.slices) {
+          if (s.block == block) return r.unit;
+        }
+      }
+      return Unit::None;
+    }
+    case TargetClass::CombinationalLut:
+      return impl_.luts[target].unit;
+    case TargetClass::SequentialLine:
+    case TargetClass::CombinationalLine:
+      return impl_.routes[target].unit;
+  }
+  return Unit::None;
+}
+
 // ---------------------------------------------------------------------------
 // Injection mechanisms (Section 4 / Table 1)
 // ---------------------------------------------------------------------------
@@ -689,7 +712,8 @@ Outcome FadesTool::runExperiment(FaultModel model, TargetClass cls,
                                  std::uint64_t injectCycle,
                                  double durationCycles, Rng& rng,
                                  double* modeledSeconds,
-                                 bits::TransferMeter* meterOut) {
+                                 bits::TransferMeter* meterOut,
+                                 std::int64_t* detectCycleOut) {
   require(injectCycle < runCycles_, ErrorKind::InvalidArgument,
           "injection instant beyond workload");
   // Fan-out and detour delays work through the timing model (they make
@@ -728,9 +752,13 @@ Outcome FadesTool::runExperiment(FaultModel model, TargetClass cls,
       golden_.outputs.begin(),
       golden_.outputs.begin() + static_cast<std::ptrdiff_t>(injectCycle));
   bool diverged = false;
+  std::int64_t detectCycle = -1;
   auto stepObserved = [&] {
     const std::uint64_t w = outputWord();
-    diverged |= (w != golden_.outputs[faulty.outputs.size()]);
+    if (!diverged && w != golden_.outputs[faulty.outputs.size()]) {
+      diverged = true;
+      detectCycle = static_cast<std::int64_t>(faulty.outputs.size());
+    }
     faulty.outputs.push_back(w);
     dev_.step();
   };
@@ -795,6 +823,7 @@ Outcome FadesTool::runExperiment(FaultModel model, TargetClass cls,
   }
   if (modeledSeconds != nullptr) *modeledSeconds = seconds;
   if (meterOut != nullptr) *meterOut = port_.meter();
+  if (detectCycleOut != nullptr) *detectCycleOut = detectCycle;
   return outcome;
 }
 
@@ -834,10 +863,11 @@ campaign::ExperimentOutcome FadesTool::runCampaignExperiment(
         erng.uniform01() * (spec.band.maxCycles - spec.band.minCycles);
     campaign::ExperimentOutcome out;
     bits::TransferMeter meter;
+    std::int64_t detectCycle = -1;
     try {
       out.outcome = runExperiment(spec.model, spec.targets, target,
                                   injectCycle, duration, erng,
-                                  &out.modeledSeconds, &meter);
+                                  &out.modeledSeconds, &meter, &detectCycle);
     } catch (const common::FadesError& err) {
       if (err.kind() != common::ErrorKind::InjectionError || attempt >= 20) {
         throw;
@@ -856,6 +886,15 @@ campaign::ExperimentOutcome FadesTool::runCampaignExperiment(
       out.record = campaign::ExperimentRecord{
           targetName(spec.targets, target), injectCycle, duration,
           out.outcome, out.modeledSeconds};
+      out.record.component =
+          netlist::toString(targetUnit(spec.targets, target));
+      out.record.detectCycle = detectCycle;
+      if (opt_.instructionTrace != nullptr &&
+          injectCycle < opt_.instructionTrace->size()) {
+        const auto& sample = (*opt_.instructionTrace)[injectCycle];
+        out.record.pc = sample.pc;
+        out.record.opcode = sample.opcode;
+      }
     }
     return out;
   }

@@ -97,6 +97,13 @@ struct FadesOptions {
   /// instead of aborting the campaign. The sharded runner has its own
   /// campaign::ParallelOptions::experimentAttempts.
   unsigned experimentAttempts = 3;
+  /// Golden-run instruction trace for root-cause attribution: entry c is the
+  /// PC/opcode of the instruction in flight at cycle c (from, e.g.,
+  /// mc8051::Iss::tracePcPerCycle). When set and keepRecords is on, every
+  /// experiment record carries the PC and opcode under the injection
+  /// instant. Shared so device replicas of a sharded campaign reuse one
+  /// trace.
+  std::shared_ptr<const campaign::InstructionTrace> instructionTrace;
 };
 
 /// Register-level effect of a fault, for the paper's Table 4 (one pulse in
@@ -123,6 +130,9 @@ class FadesTool {
   std::vector<std::uint32_t> targets(FaultModel model, TargetClass cls,
                                      Unit unit) const;
   std::string targetName(TargetClass cls, std::uint32_t target) const;
+  /// Component the target belongs to, from the implementation's hierarchy
+  /// annotations (rtl::Builder unit tags survive synthesis onto every site).
+  Unit targetUnit(TargetClass cls, std::uint32_t target) const;
 
   CampaignResult runCampaign(const CampaignSpec& spec);
 
@@ -149,11 +159,15 @@ class FadesTool {
   /// afterwards), the way a real host re-initializes a flaky board.
   void recoverLink();
 
+  /// `detectCycleOut`, when non-null, receives the first cycle whose
+  /// observed outputs diverge from the golden run (-1 if they never do) -
+  /// the fault-latency numerator for the analytics histograms.
   Outcome runExperiment(FaultModel model, TargetClass cls,
                         std::uint32_t target, std::uint64_t injectCycle,
                         double durationCycles, common::Rng& rng,
                         double* modeledSeconds = nullptr,
-                        bits::TransferMeter* meterOut = nullptr);
+                        bits::TransferMeter* meterOut = nullptr,
+                        std::int64_t* detectCycleOut = nullptr);
 
   /// Table 4 probe: pulse one LUT for a single cycle at `cycle` and report
   /// every architectural register whose value diverges from the golden run

@@ -82,4 +82,87 @@ unsigned instructionLength(std::uint8_t op) {
   return 0;
 }
 
+const char* opcodeName(std::uint8_t op) {
+  const std::uint8_t fam = op & 0xF8;
+  const std::uint8_t ind = op & 0xFE;
+
+  switch (op) {
+    case OP_NOP: return "NOP";
+    case OP_LJMP: return "LJMP addr16";
+    case OP_RR_A: return "RR A";
+    case OP_INC_A: return "INC A";
+    case OP_INC_DIR: return "INC dir";
+    case OP_LCALL: return "LCALL addr16";
+    case OP_RRC_A: return "RRC A";
+    case OP_DEC_A: return "DEC A";
+    case OP_DEC_DIR: return "DEC dir";
+    case OP_RET: return "RET";
+    case OP_RL_A: return "RL A";
+    case OP_ADD_IMM: return "ADD A,#imm";
+    case OP_ADD_DIR: return "ADD A,dir";
+    case OP_RLC_A: return "RLC A";
+    case OP_ADDC_IMM: return "ADDC A,#imm";
+    case OP_ADDC_DIR: return "ADDC A,dir";
+    case OP_JC: return "JC rel";
+    case OP_ORL_A_IMM: return "ORL A,#imm";
+    case OP_ORL_A_DIR: return "ORL A,dir";
+    case OP_JNC: return "JNC rel";
+    case OP_DIV_AB: return "DIV AB";
+    case OP_MUL_AB: return "MUL AB";
+    case OP_ANL_A_IMM: return "ANL A,#imm";
+    case OP_ANL_A_DIR: return "ANL A,dir";
+    case OP_JZ: return "JZ rel";
+    case OP_XRL_A_IMM: return "XRL A,#imm";
+    case OP_XRL_A_DIR: return "XRL A,dir";
+    case OP_JNZ: return "JNZ rel";
+    case OP_MOV_A_IMM: return "MOV A,#imm";
+    case OP_MOV_DIR_IMM: return "MOV dir,#imm";
+    case OP_SJMP: return "SJMP rel";
+    case OP_MOV_DIR_DIR: return "MOV dir,dir";
+    case OP_SUBB_IMM: return "SUBB A,#imm";
+    case OP_SUBB_DIR: return "SUBB A,dir";
+    case OP_CPL_C: return "CPL C";
+    case OP_CJNE_A_IMM: return "CJNE A,#imm,rel";
+    case OP_CJNE_A_DIR: return "CJNE A,dir,rel";
+    case OP_PUSH: return "PUSH dir";
+    case OP_CLR_C: return "CLR C";
+    case OP_XCH_A_DIR: return "XCH A,dir";
+    case OP_POP: return "POP dir";
+    case OP_SETB_C: return "SETB C";
+    case OP_DJNZ_DIR: return "DJNZ dir,rel";
+    case OP_CLR_A: return "CLR A";
+    case OP_MOV_A_DIR: return "MOV A,dir";
+    case OP_CPL_A: return "CPL A";
+    case OP_MOV_DIR_A: return "MOV dir,A";
+    default:
+      break;
+  }
+  if (ind == OP_INC_IND) return "INC @Ri";
+  if (ind == OP_DEC_IND) return "DEC @Ri";
+  if (ind == OP_ADD_IND) return "ADD A,@Ri";
+  if (ind == OP_ADDC_IND) return "ADDC A,@Ri";
+  if (ind == OP_SUBB_IND) return "SUBB A,@Ri";
+  if (ind == OP_MOV_IND_IMM) return "MOV @Ri,#imm";
+  if (ind == OP_CJNE_IND_IMM) return "CJNE @Ri,#imm,rel";
+  if (ind == OP_MOV_A_IND) return "MOV A,@Ri";
+  if (ind == OP_MOV_IND_A) return "MOV @Ri,A";
+  if (fam == OP_INC_RN) return "INC Rn";
+  if (fam == OP_DEC_RN) return "DEC Rn";
+  if (fam == OP_ADD_RN) return "ADD A,Rn";
+  if (fam == OP_ADDC_RN) return "ADDC A,Rn";
+  if (fam == OP_ORL_A_RN) return "ORL A,Rn";
+  if (fam == OP_ANL_A_RN) return "ANL A,Rn";
+  if (fam == OP_XRL_A_RN) return "XRL A,Rn";
+  if (fam == OP_MOV_RN_IMM) return "MOV Rn,#imm";
+  if (fam == OP_MOV_DIR_RN) return "MOV dir,Rn";
+  if (fam == OP_SUBB_RN) return "SUBB A,Rn";
+  if (fam == OP_MOV_RN_DIR) return "MOV Rn,dir";
+  if (fam == OP_CJNE_RN_IMM) return "CJNE Rn,#imm,rel";
+  if (fam == OP_XCH_A_RN) return "XCH A,Rn";
+  if (fam == OP_DJNZ_RN) return "DJNZ Rn,rel";
+  if (fam == OP_MOV_A_RN) return "MOV A,Rn";
+  if (fam == OP_MOV_RN_A) return "MOV Rn,A";
+  return "?";
+}
+
 }  // namespace fades::mc8051

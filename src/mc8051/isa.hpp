@@ -116,4 +116,10 @@ inline bool isImplemented(std::uint8_t opcode) {
   return instructionLength(opcode) != 0;
 }
 
+/// Mnemonic form of an opcode ("MOV A,Rn", "DJNZ dir,rel", ...). Register
+/// and indirect encodings collapse onto their family name, which is exactly
+/// the granularity the per-instruction vulnerability tables aggregate at.
+/// Returns "?" for opcodes outside the implemented subset.
+const char* opcodeName(std::uint8_t opcode);
+
 }  // namespace fades::mc8051

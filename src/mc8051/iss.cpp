@@ -372,4 +372,20 @@ void Iss::runCycles(std::uint64_t cycles) {
   while (cycles_ < cycles) stepInstruction();
 }
 
+std::vector<PcSample> Iss::tracePcPerCycle(std::uint64_t cycles) {
+  reset();
+  std::vector<PcSample> trace;
+  trace.reserve(cycles);
+  while (trace.size() < cycles) {
+    const std::uint16_t pc = pc_;
+    const std::uint8_t op = pc < rom_.size() ? rom_[pc] : 0;
+    const unsigned spent = stepInstruction();
+    for (unsigned c = 0; c < spent && trace.size() < cycles; ++c) {
+      trace.push_back(PcSample{pc, op});
+    }
+  }
+  reset();
+  return trace;
+}
+
 }  // namespace fades::mc8051

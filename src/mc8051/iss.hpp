@@ -13,6 +13,13 @@
 
 namespace fades::mc8051 {
 
+/// One golden-run cycle: the PC of the instruction occupying the core on
+/// that cycle and its opcode byte. Produced by Iss::tracePcPerCycle.
+struct PcSample {
+  std::uint16_t pc = 0;
+  std::uint8_t opcode = 0;
+};
+
 class Iss {
  public:
   explicit Iss(std::vector<std::uint8_t> program);
@@ -26,6 +33,13 @@ class Iss {
 
   /// Run whole instructions while the total cycle count stays <= cycles.
   void runCycles(std::uint64_t cycles);
+
+  /// Golden-run PC attribution: reset, execute at least `cycles` cycles and
+  /// return one sample per cycle - the PC and opcode of the instruction in
+  /// flight on that cycle. Because the ISS mirrors the RTL FSM's cycle
+  /// counts, sample[c] names the instruction the core is executing when a
+  /// fault lands at cycle c. Leaves the simulator reset afterwards.
+  std::vector<PcSample> tracePcPerCycle(std::uint64_t cycles);
 
   std::uint64_t cycleCount() const { return cycles_; }
 

@@ -1,0 +1,28 @@
+#include "obs/csv.hpp"
+
+namespace fades::obs {
+
+std::string csvQuote(std::string_view field) {
+  if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csvLine(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out += ',';
+    out += csvQuote(cells[i]);
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace fades::obs

@@ -1,0 +1,21 @@
+// CSV quoting for the observability layer.
+//
+// Every CSV the tree emits - campaign reports, analytics tables, bench
+// exports - quotes fields through this one implementation, so the quoting
+// rules (RFC 4180: wrap when a field contains a comma, quote or newline;
+// double embedded quotes) cannot drift between writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fades::obs {
+
+/// Quote one CSV field if needed; fields without specials pass unchanged.
+std::string csvQuote(std::string_view field);
+
+/// Join pre-formatted cells into one newline-terminated CSV line.
+std::string csvLine(const std::vector<std::string>& cells);
+
+}  // namespace fades::obs

@@ -260,6 +260,30 @@ CampaignResult VfitTool::runCampaign(const CampaignSpec& spec) {
   obs::Span campaignSpan{"vfit.campaign",
                          {{"model", campaign::toString(spec.model)},
                           {"targets", campaign::toString(spec.targets)}}};
+  // Component attribution for records: resolve a target back to the unit
+  // annotation on its netlist element (flop, ram, or the gate driving the
+  // faulted signal), mirroring FadesTool::targetUnit at the HDL level.
+  auto targetUnit = [&](std::uint32_t target) {
+    switch (spec.targets) {
+      case TargetClass::SequentialFF:
+        return nl_.flops()[target].unit;
+      case TargetClass::MemoryBlockBit:
+        return nl_.ram(RamId{target >> 24}).unit;
+      case TargetClass::SequentialLine:
+        for (const auto& f : nl_.flops()) {
+          if (f.q.value == target) return f.unit;
+        }
+        return Unit::None;
+      case TargetClass::CombinationalLut:
+      case TargetClass::CbInputLine:
+      case TargetClass::CombinationalLine:
+        for (const auto& g : nl_.gates()) {
+          if (g.out.value == target) return g.unit;
+        }
+        return Unit::None;
+    }
+    return Unit::None;
+  };
   for (unsigned e = 0; e < spec.experiments; ++e) {
     // Same stream derivation as the FADES campaign loop so that identical
     // specs over identical pools draw identical faults in both tools.
@@ -281,6 +305,8 @@ CampaignResult VfitTool::runCampaign(const CampaignSpec& spec) {
     if (opt_.keepRecords) {
       result.records.push_back(campaign::ExperimentRecord{
           std::to_string(target), injectCycle, duration, o, seconds});
+      result.records.back().component =
+          netlist::toString(targetUnit(target));
     }
     if ((e + 1) % 100 == 0 || e + 1 == spec.experiments) {
       FADES_LOG(Debug) << "vfit campaign progress"

@@ -259,6 +259,66 @@ TEST(Iss, CycleCountsFollowTheFsm) {
   }
 }
 
+TEST(Isa, OpcodeNamesCoverTheImplementedSubset) {
+  // Every implemented opcode decodes to a real mnemonic; holes decode to "?".
+  for (unsigned op = 0; op < 256; ++op) {
+    const std::string name = opcodeName(static_cast<std::uint8_t>(op));
+    if (instructionLength(static_cast<std::uint8_t>(op)) != 0) {
+      EXPECT_NE(name, "?") << "opcode " << op;
+    } else {
+      EXPECT_EQ(name, "?") << "opcode " << op;
+    }
+  }
+  EXPECT_STREQ(opcodeName(0x00), "NOP");
+  EXPECT_STREQ(opcodeName(0x28 + 3), "ADD A,Rn");  // family collapses
+  EXPECT_STREQ(opcodeName(0xE6), "MOV A,@Ri");
+  EXPECT_STREQ(opcodeName(0xE7), "MOV A,@Ri");
+}
+
+TEST(Iss, TracePcPerCycleNamesTheInstructionInFlight) {
+  const auto p = assemble(R"(
+    MOV A, #1
+    INC A
+    SJMP $
+  )");
+  Iss iss(p.bytes);
+  const auto trace = iss.tracePcPerCycle(12);
+  ASSERT_EQ(trace.size(), 12u);
+  // MOV A,#1 occupies cycles 0-3, INC A cycles 4-6, then SJMP $ forever.
+  for (unsigned c = 0; c < 4; ++c) {
+    EXPECT_EQ(trace[c].pc, 0u) << c;
+    EXPECT_EQ(trace[c].opcode, 0x74) << c;
+  }
+  for (unsigned c = 4; c < 7; ++c) {
+    EXPECT_EQ(trace[c].pc, 2u) << c;
+    EXPECT_EQ(trace[c].opcode, 0x04) << c;
+  }
+  for (unsigned c = 7; c < 12; ++c) {
+    EXPECT_EQ(trace[c].pc, 3u) << c;
+    EXPECT_EQ(trace[c].opcode, 0x80) << c;
+  }
+  // The tracer resets afterwards: a fresh run from cycle 0 is unperturbed.
+  EXPECT_EQ(iss.cycleCount(), 0u);
+  EXPECT_EQ(iss.pc(), 0u);
+}
+
+TEST(Iss, TraceMatchesStepInstructionCycleAccounting) {
+  const Workload w = bubblesort(5);
+  Iss iss(w.bytes);
+  const auto trace = iss.tracePcPerCycle(w.cycles);
+  ASSERT_EQ(trace.size(), w.cycles);
+  // Replaying instruction-by-instruction visits the same (pc, cycles) runs.
+  iss.reset();
+  std::size_t cursor = 0;
+  while (cursor < trace.size()) {
+    const std::uint16_t pc = iss.pc();
+    const unsigned spent = iss.stepInstruction();
+    for (unsigned k = 0; k < spent && cursor < trace.size(); ++k, ++cursor) {
+      EXPECT_EQ(trace[cursor].pc, pc) << "cycle " << cursor;
+    }
+  }
+}
+
 // ----------------------------------------------------------- workloads -----
 
 TEST(Workloads, BubblesortSortsAndChecksums) {

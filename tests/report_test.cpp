@@ -54,14 +54,39 @@ TEST(Report, RecordsCsvQuotesCommasAndQuotes) {
   r.records.push_back(ExperimentRecord{"line \"q\", comma", 3, 2.0,
                                        Outcome::Latent, 0.11});
   const auto csv = recordsToCsv(r);
-  EXPECT_NE(csv.find("\"line \"\"q\"\", comma\",3,"), std::string::npos);
+  EXPECT_NE(csv.find("\"line \"\"q\"\", comma\",,3,"), std::string::npos);
 }
 
 TEST(Report, RecordsCsvListsEveryExperiment) {
   const auto csv = recordsToCsv(sampleResult());
-  EXPECT_NE(csv.find("lut:alu_result[3],120,4.500,failure,0.250000"),
+  EXPECT_NE(csv.find("lut:alu_result[3],,120,4.500,failure,0.250000,-1,-1,-1"),
             std::string::npos);
   EXPECT_NE(csv.find("\"lut, with comma\""), std::string::npos);
+}
+
+TEST(Report, RecordsCsvCarriesAttributionColumns) {
+  auto r = sampleResult();
+  r.records[0].component = "alu";
+  r.records[0].pc = 0x12;
+  r.records[0].opcode = 0x28;
+  r.records[0].detectCycle = 130;
+  const auto csv = recordsToCsv(r);
+  EXPECT_NE(csv.find("target,component,inject_cycle,duration_cycles,outcome,"
+                     "seconds,pc,opcode,detect_cycle"),
+            std::string::npos);
+  EXPECT_NE(csv.find("lut:alu_result[3],alu,120,4.500,failure,0.250000,18,40,"
+                     "130"),
+            std::string::npos);
+}
+
+TEST(Report, RenderCsvQuotesEveryFieldThroughOneImplementation) {
+  const auto csv = renderCsv({"a", "b,c"}, {{"plain", "has \"q\""}});
+  EXPECT_EQ(csv, "a,\"b,c\"\nplain,\"has \"\"q\"\"\"\n");
+}
+
+TEST(Report, RenderMarkdownTablePipes) {
+  const auto md = renderMarkdownTable({"x", "y"}, {{"1", "2"}, {"3", "4"}});
+  EXPECT_EQ(md, "| x | y |\n|---|---|\n| 1 | 2 |\n| 3 | 4 |\n");
 }
 
 TEST(Report, RecordsCsvRequiresRecords) {
