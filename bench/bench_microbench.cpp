@@ -17,8 +17,10 @@
 #include "mc8051/iss.hpp"
 #include "mc8051/workloads.hpp"
 #include "rtl/builder.hpp"
+#include "sim/compiled.hpp"
 #include "sim/simulator.hpp"
 #include "synth/implement.hpp"
+#include "vfit/vfit.hpp"
 
 namespace {
 
@@ -53,6 +55,66 @@ void BM_NetlistSimulatorCycle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NetlistSimulatorCycle);
+
+// The compiled engine advances 64 fault machines per step, so one iteration
+// processes 64 machine-cycles; items/s is therefore directly comparable to
+// BM_NetlistSimulatorCycle's (one machine-cycle per iteration). CI's
+// regression gate requires the ratio to stay >= 10x.
+void BM_CompiledNetlistCycle(benchmark::State& state) {
+  sim::CompiledSimulator cs(Shared::get().nl);
+  for (auto _ : state) cs.step();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(
+                              sim::CompiledSimulator::kLanes));
+}
+BENCHMARK(BM_CompiledNetlistCycle);
+
+// Whole VFIT campaigns (MC8051 + Bubblesort) at wave-relevant experiment
+// counts: 1 (degenerate wave), 8 (partial wave), 64 (one full 63-lane wave
+// plus one spill). items/s = experiments per second, the number behind the
+// EXPERIMENTS.md event-vs-compiled throughput table. The golden run is paid
+// once in the fixture, not per iteration, on both engines.
+struct VfitShared {
+  vfit::VfitTool event;
+  vfit::VfitTool compiled;
+
+  static vfit::VfitOptions options(sim::EngineKind kind) {
+    vfit::VfitOptions opt;
+    opt.engine = kind;
+    return opt;
+  }
+  VfitShared()
+      : event(Shared::get().nl, Shared::get().workload.cycles,
+              options(sim::EngineKind::EventDriven)),
+        compiled(Shared::get().nl, Shared::get().workload.cycles,
+                 options(sim::EngineKind::Compiled)) {}
+  static VfitShared& get() {
+    static VfitShared s;
+    return s;
+  }
+};
+
+void runVfitCampaign(benchmark::State& state, vfit::VfitTool& tool) {
+  campaign::CampaignSpec spec;
+  spec.model = campaign::FaultModel::BitFlip;
+  spec.targets = campaign::TargetClass::SequentialFF;
+  spec.experiments = static_cast<unsigned>(state.range(0));
+  spec.seed = 7;
+  for (auto _ : state) benchmark::DoNotOptimize(tool.runCampaign(spec));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_VfitCampaignEventDriven(benchmark::State& state) {
+  runVfitCampaign(state, VfitShared::get().event);
+}
+BENCHMARK(BM_VfitCampaignEventDriven)
+    ->Arg(1)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_VfitCampaignCompiled(benchmark::State& state) {
+  runVfitCampaign(state, VfitShared::get().compiled);
+}
+BENCHMARK(BM_VfitCampaignCompiled)
+    ->Arg(1)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void BM_FpgaEmulationCycle(benchmark::State& state) {
   const auto& s = Shared::get();

@@ -3,9 +3,17 @@
 // set-up tool (Figure 9).
 //
 // Usage:
-//   campaign_8051 [--jobs N|auto] [--no-cache] [--link-faults R]
+//   campaign_8051 [--tool fades|vfit] [--engine event|compiled]
+//                 [--jobs N|auto] [--no-cache] [--link-faults R]
 //                 [--checkpoint FILE] [--resume] [--fsync]
 //                 [model] [targets] [unit] [faults] [band] [artifact.json]
+//     --tool   which injector runs the campaign: fades (run-time
+//              reconfiguration on the emulated FPGA, the default) or vfit
+//              (simulator commands on the HDL model).
+//     --engine vfit execution engine: event (event-driven replay, default)
+//              or compiled (63 experiments per bit-parallel wave). Outcomes
+//              and artifacts are bit-identical either way; only wall-clock
+//              changes. Requires --tool vfit.
 //     --jobs N shard the campaign across N worker threads, each with its
 //              own device replica ("auto" = one per hardware thread; env
 //              FADES_JOBS is the fallback; default 1). Changes wall-clock
@@ -55,14 +63,17 @@
 #include "mc8051/core.hpp"
 #include "mc8051/iss.hpp"
 #include "mc8051/workloads.hpp"
+#include "sim/engine.hpp"
 #include "synth/implement.hpp"
+#include "vfit/vfit.hpp"
 
 using namespace fades;
 
 namespace {
 
 constexpr const char* kUsage =
-    "usage: campaign_8051 [--jobs N|auto] [--no-cache] [--link-faults R]\n"
+    "usage: campaign_8051 [--tool fades|vfit] [--engine event|compiled]\n"
+    "                     [--jobs N|auto] [--no-cache] [--link-faults R]\n"
     "                     [--checkpoint FILE] [--resume] [--fsync]\n"
     "                     [model] [targets] [unit] [faults] [band]\n"
     "                     [artifact.json]\n"
@@ -123,6 +134,8 @@ int main(int argc, char** argv) {
   std::string checkpointPath;
   bool resume = false;
   bool fsyncEachRecord = false;
+  std::string toolArg = "fades";
+  std::string engineArg;
   if (const char* env = std::getenv("FADES_JOBS")) {
     jobs = parseJobs(env, "FADES_JOBS");
   }
@@ -145,6 +158,10 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (a == "--fsync") {
       fsyncEachRecord = true;
+    } else if (a == "--tool") {
+      toolArg = flagValue(i, "--tool");
+    } else if (a == "--engine") {
+      engineArg = flagValue(i, "--engine");
     } else if (!a.empty() && a[0] == '-') {
       usageError("unknown flag '" + a + "'");
     } else {
@@ -153,6 +170,22 @@ int main(int argc, char** argv) {
   }
   if (resume && checkpointPath.empty()) {
     usageError("--resume requires --checkpoint FILE");
+  }
+  if (toolArg != "fades" && toolArg != "vfit") {
+    usageError("--tool expects fades or vfit, got '" + toolArg + "'");
+  }
+  sim::EngineKind engineKind = sim::EngineKind::EventDriven;
+  if (!engineArg.empty()) {
+    if (toolArg != "vfit") {
+      usageError("--engine requires --tool vfit (FADES drives the FPGA)");
+    }
+    if (!sim::engineKindFromString(engineArg, engineKind)) {
+      usageError("--engine expects event or compiled, got '" + engineArg +
+                 "'");
+    }
+  }
+  if (toolArg == "vfit" && linkFaultRate > 0.0) {
+    usageError("--link-faults requires --tool fades (no board link in VFIT)");
   }
   if (positional.size() > 6) {
     usageError("too many positional arguments");
@@ -232,13 +265,23 @@ int main(int argc, char** argv) {
     popt.journal = journal.get();
     popt.resume = resume;
   }
-  campaign::ParallelCampaignRunner runner(
-      core::fadesEngineFactory(impl, workload.cycles, options), popt);
+  campaign::EngineFactory factory;
+  if (toolArg == "vfit") {
+    vfit::VfitOptions vopt;
+    vopt.keepRecords = options.keepRecords;
+    vopt.engine = engineKind;
+    factory = vfit::vfitEngineFactory(netlist, workload.cycles, vopt);
+  } else {
+    factory = core::fadesEngineFactory(impl, workload.cycles, options);
+  }
+  campaign::ParallelCampaignRunner runner(std::move(factory), popt);
 
   std::printf("Running %u %s faults on %s",
               spec.experiments, campaign::toString(spec.model),
               campaign::toString(spec.targets));
-  std::printf(" (unit %s, duration %s cycles, %u worker%s)...\n",
+  std::printf(" (tool %s%s%s, unit %s, duration %s cycles, %u worker%s)...\n",
+              toolArg.c_str(), toolArg == "vfit" ? " engine " : "",
+              toolArg == "vfit" ? sim::toString(engineKind) : "",
               unitArg.c_str(), spec.band.label.c_str(), runner.jobs(),
               runner.jobs() == 1 ? "" : "s");
   const auto result = runner.run(spec);

@@ -164,6 +164,11 @@ CampaignResult ParallelCampaignRunner::run(const CampaignSpec& spec) {
   }
 
   const unsigned attempts = std::max(1u, opt_.experimentAttempts);
+  // Lease width: bit-parallel engines claim whole waves of contiguous
+  // indices (wave composition cannot change outcomes - every experiment
+  // stays a pure function of its index - so block leasing only changes
+  // wall-clock, like everything else in this runner).
+  const unsigned waveWidth = std::max(1u, engines_[0]->waveWidth());
   obs::Counter& cQuarantined =
       obs::Registry::global().counter("campaign.quarantined");
   std::atomic<unsigned> next{0};
@@ -173,39 +178,75 @@ CampaignResult ParallelCampaignRunner::run(const CampaignSpec& spec) {
 
   auto workerLoop = [&](unsigned w) {
     try {
+      std::vector<unsigned> pending;
       while (!abort.load(std::memory_order_relaxed)) {
-        const unsigned e = next.fetch_add(1, std::memory_order_relaxed);
-        if (e >= spec.experiments) break;
-        if (alreadyDone[e]) continue;
+        const unsigned base = next.fetch_add(waveWidth,
+                                             std::memory_order_relaxed);
+        if (base >= spec.experiments) break;
+        const unsigned end = std::min(base + waveWidth, spec.experiments);
+        pending.clear();
+        for (unsigned e = base; e < end; ++e) {
+          if (!alreadyDone[e]) pending.push_back(e);
+        }
+        if (pending.empty()) continue;
+        // Wave path first: one batched call for the lease (resume gaps
+        // just shrink the wave). A transient error drops the whole lease
+        // down to the per-experiment retry/quarantine path below.
+        bool waveDone = false;
+        if (waveWidth > 1) {
+          try {
+            auto outs = engines_[w]->runWaveAt(spec, pool, pending, 0);
+            require(outs.size() == pending.size(),
+                    ErrorKind::InvalidArgument,
+                    "engine wave returned wrong outcome count");
+            for (std::size_t i = 0; i < pending.size(); ++i) {
+              outs[i].index = pending[i];
+              outs[i].attempts = 1;
+              outcomes[pending[i]] = std::move(outs[i]);
+              if (opt_.journal != nullptr) {
+                opt_.journal->append(outcomes[pending[i]]);
+              }
+              progress.record(outcomes[pending[i]]);
+            }
+            waveDone = true;
+          } catch (const common::FadesError& err) {
+            if (!common::isTransientError(err.kind())) throw;
+            engines_[w]->recover();
+          }
+        }
+        if (waveDone) continue;
         // Experiment-level isolation: transient errors re-run the
         // experiment (with a fresh link fault stream via `rerun`) after
         // restoring the replica; exhausting the attempt budget quarantines
         // this one experiment. Fatal errors still abort the campaign.
-        ExperimentOutcome outcome;
-        for (unsigned rerun = 0;; ++rerun) {
-          try {
-            outcome = engines_[w]->runExperimentAt(spec, pool, e, rerun);
-            outcome.index = e;
-            outcome.attempts = rerun + 1;
-            break;
-          } catch (const common::FadesError& err) {
-            if (!common::isTransientError(err.kind())) throw;
-            engines_[w]->recover();
-            if (rerun + 1 >= attempts) {
-              outcome = ExperimentOutcome{};
+        for (const unsigned e : pending) {
+          if (abort.load(std::memory_order_relaxed)) break;
+          ExperimentOutcome outcome;
+          for (unsigned rerun = 0;; ++rerun) {
+            try {
+              outcome = engines_[w]->runExperimentAt(spec, pool, e, rerun);
               outcome.index = e;
-              outcome.quarantined = true;
-              outcome.failureKind = err.kind();
-              outcome.failureMessage = err.what();
               outcome.attempts = rerun + 1;
-              cQuarantined.inc();
               break;
+            } catch (const common::FadesError& err) {
+              if (!common::isTransientError(err.kind())) throw;
+              engines_[w]->recover();
+              if (rerun + 1 >= attempts) {
+                outcome = ExperimentOutcome{};
+                outcome.index = e;
+                outcome.quarantined = true;
+                outcome.failureKind = err.kind();
+                outcome.failureMessage = err.what();
+                outcome.attempts = rerun + 1;
+                cQuarantined.inc();
+                break;
+              }
             }
           }
+          outcomes[e] = outcome;
+          if (opt_.journal != nullptr) opt_.journal->append(outcome);
+          progress.record(outcome);
         }
-        outcomes[e] = outcome;
-        if (opt_.journal != nullptr) opt_.journal->append(outcome);
-        progress.record(outcome);
       }
     } catch (...) {
       abort.store(true, std::memory_order_relaxed);

@@ -62,6 +62,28 @@ class CampaignEngine {
   /// before continuing past a quarantined experiment. Default: no-op, for
   /// engines whose runExperimentAt cannot leave residue behind.
   virtual void recover() {}
+
+  /// Preferred lease width: how many experiments this engine likes to run
+  /// per batch. Bit-parallel engines return their lane count (the runner
+  /// then leases contiguous index blocks of this size); the default of 1
+  /// keeps the classic per-experiment work stealing.
+  virtual unsigned waveWidth() const { return 1; }
+
+  /// Run the experiments named by `indices` as one batch. Every outcome
+  /// must still be a pure function of (spec, pool, index, rerun) - batching
+  /// may only change wall-clock, never results - so the default simply
+  /// loops runExperimentAt. The runner fills in ExperimentOutcome::index
+  /// and attempts from `indices`.
+  virtual std::vector<ExperimentOutcome> runWaveAt(
+      const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+      std::span<const unsigned> indices, unsigned rerun) {
+    std::vector<ExperimentOutcome> out;
+    out.reserve(indices.size());
+    for (const unsigned e : indices) {
+      out.push_back(runExperimentAt(spec, pool, e, rerun));
+    }
+    return out;
+  }
 };
 
 /// Builds one engine replica; called once per worker, concurrently. The

@@ -143,6 +143,7 @@ CaseReport checkCase(const CaseSpec& c, const OracleOptions& opt) {
   vfit::VfitOptions vOpt;
   vOpt.observedOutputs = observedOutputs(c);
   vOpt.keepRecords = true;
+  vOpt.engine = opt.vfitEngine;
   vfit::VfitTool vfit(nl, c.runCycles, vOpt);
 
   // --- golden agreement ----------------------------------------------------

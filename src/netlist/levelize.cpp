@@ -1,0 +1,138 @@
+#include "netlist/levelize.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace fades::netlist {
+
+using common::ErrorKind;
+using common::raise;
+
+namespace {
+
+/// Walk gate-to-gate edges from an unscheduled gate until a gate repeats,
+/// then render the nets around the cycle for the error message. Kahn left
+/// every gate on at least one cycle (or downstream of one), so following
+/// unscheduled predecessors must revisit a gate.
+[[noreturn]] void raiseCycle(const Netlist& nl,
+                             const std::vector<std::uint8_t>& scheduled) {
+  std::uint32_t g = 0;
+  for (; g < nl.gateCount(); ++g) {
+    if (!scheduled[g]) break;
+  }
+  std::vector<std::uint32_t> path;
+  std::vector<std::uint8_t> onPath(nl.gateCount(), 0);
+  std::uint32_t cur = g;
+  while (!onPath[cur]) {
+    onPath[cur] = 1;
+    path.push_back(cur);
+    const auto& gate = nl.gates()[cur];
+    for (unsigned k = 0; k < arity(gate.op); ++k) {
+      const auto d = nl.driverOf(gate.in[k]);
+      if (d.kind == Netlist::DriverKind::Gate && !scheduled[d.index]) {
+        cur = d.index;
+        break;
+      }
+    }
+  }
+  // Trim the lead-in: keep only the gates from the first occurrence of
+  // `cur` onward - those form the actual cycle.
+  const auto start = std::find(path.begin(), path.end(), cur);
+  std::string nets;
+  for (auto it = start; it != path.end(); ++it) {
+    const NetId out = nl.gates()[*it].out;
+    const std::string& name = nl.netName(out);
+    if (!nets.empty()) nets += " -> ";
+    nets += name.empty() ? "net#" + std::to_string(out.value) : name;
+  }
+  raise(ErrorKind::ConfigError,
+        "combinational cycle through nets: " + nets);
+}
+
+}  // namespace
+
+Levelization levelize(const Netlist& nl) {
+  const std::size_t n = nl.gateCount();
+  std::vector<std::uint32_t> indegree(n, 0);
+  std::vector<std::vector<std::uint32_t>> fanout(n);
+  for (std::uint32_t g = 0; g < n; ++g) {
+    for (unsigned k = 0; k < arity(nl.gates()[g].op); ++k) {
+      const auto d = nl.driverOf(nl.gates()[g].in[k]);
+      if (d.kind == Netlist::DriverKind::Gate) {
+        ++indegree[g];
+        fanout[d.index].push_back(g);
+      }
+    }
+  }
+
+  Levelization out;
+  out.level.assign(n, 0);
+  std::vector<std::uint8_t> scheduled(n, 0);
+  // Breadth-first Kahn: `frontier` holds one complete level at a time, so
+  // levels come out exact (longest gate-to-gate path from any source).
+  std::vector<std::uint32_t> frontier;
+  for (std::uint32_t g = 0; g < n; ++g) {
+    if (indegree[g] == 0) frontier.push_back(g);
+  }
+  std::size_t done = 0;
+  std::uint32_t lvl = 0;
+  std::vector<std::uint32_t> next;
+  while (!frontier.empty()) {
+    for (std::uint32_t g : frontier) {
+      out.level[g] = lvl;
+      scheduled[g] = 1;
+      ++done;
+      for (std::uint32_t s : fanout[g]) {
+        if (--indegree[s] == 0) next.push_back(s);
+      }
+    }
+    frontier.swap(next);
+    next.clear();
+    ++lvl;
+  }
+  if (done != n) raiseCycle(nl, scheduled);
+
+  // Canonical schedule: bucket by level, ascending gate index inside each
+  // (frontier order already visits indices ascending per level, but rebuild
+  // from the level array so the invariant is explicit).
+  out.levelOffsets.assign(lvl + 1, 0);
+  for (std::uint32_t g = 0; g < n; ++g) ++out.levelOffsets[out.level[g] + 1];
+  for (std::uint32_t l = 0; l < lvl; ++l) {
+    out.levelOffsets[l + 1] += out.levelOffsets[l];
+  }
+  out.schedule.assign(n, GateId{});
+  std::vector<std::uint32_t> cursor(out.levelOffsets.begin(),
+                                    out.levelOffsets.end() - 1);
+  for (std::uint32_t g = 0; g < n; ++g) {
+    out.schedule[cursor[out.level[g]]++] = GateId{g};
+  }
+  return out;
+}
+
+std::string Levelization::dump(const Netlist& nl) const {
+  std::string s;
+  s += "levelization gates=" + std::to_string(schedule.size()) +
+       " flops=" + std::to_string(nl.flopCount()) +
+       " rams=" + std::to_string(nl.ramCount()) +
+       " depth=" + std::to_string(depth()) + "\n";
+  for (unsigned l = 0; l < depth(); ++l) {
+    s += "level " + std::to_string(l) + ": " +
+         std::to_string(gatesAtLevel(l)) + "\n";
+  }
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the schedule
+  for (const GateId g : schedule) {
+    for (unsigned byte = 0; byte < 4; ++byte) {
+      h ^= (g.value >> (8 * byte)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(h));
+  s += "schedule fnv1a=" + std::string(hex) + "\n";
+  return s;
+}
+
+}  // namespace fades::netlist

@@ -1,0 +1,51 @@
+// Netlist levelization: schedule every combinational gate into topological
+// levels so a compiled simulator can evaluate the whole cloud as one
+// straight-line kernel (no event queue). Level 0 gates read only sources
+// (input ports, flop Q outputs, RAM data outputs, constants); level L gates
+// read at least one level L-1 gate output and nothing deeper.
+//
+// Unlike Netlist::topoOrder() - whose DFS-flavoured Kahn order depends on
+// stack pops - the levelized schedule is canonical: gates are ordered by
+// (level, gate index), so the same netlist always yields the same kernel
+// and the golden dump below is stable across platforms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace fades::netlist {
+
+struct Levelization {
+  /// Gate evaluation order: ascending (level, gate index).
+  std::vector<GateId> schedule;
+  /// Combinational level per gate, indexed by gate id.
+  std::vector<std::uint32_t> level;
+  /// CSR offsets into `schedule`: level L spans
+  /// [levelOffsets[L], levelOffsets[L + 1]).
+  std::vector<std::uint32_t> levelOffsets;
+
+  unsigned depth() const {
+    return levelOffsets.empty()
+               ? 0
+               : static_cast<unsigned>(levelOffsets.size() - 1);
+  }
+  std::size_t gatesAtLevel(unsigned l) const {
+    return levelOffsets[l + 1] - levelOffsets[l];
+  }
+
+  /// Deterministic summary of the levelization - element counts, per-level
+  /// gate counts and an FNV-1a hash of the full schedule - used by the
+  /// golden-file test that pins the MC8051 kernel shape.
+  std::string dump(const Netlist& nl) const;
+};
+
+/// Levelize `nl`'s combinational gates. Throws a ConfigError naming the nets
+/// on one offending cycle if the combinational logic is cyclic (works on
+/// unvalidated netlists, so it doubles as a diagnostic sharper than
+/// validate()'s bare "combinational cycle detected").
+Levelization levelize(const Netlist& nl);
+
+}  // namespace fades::netlist

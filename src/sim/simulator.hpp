@@ -13,6 +13,7 @@
 
 #include "netlist/netlist.hpp"
 #include "obs/metrics.hpp"
+#include "sim/engine.hpp"
 
 namespace fades::sim {
 
@@ -33,44 +34,46 @@ struct Snapshot {
   std::uint64_t cycle = 0;
 };
 
-class Simulator {
+class Simulator final : public Engine {
  public:
   /// The netlist must outlive the simulator and must be validated.
   explicit Simulator(const Netlist& netlist);
 
   /// Reset flops and memories to their declared initial values, clear
   /// forces, zero the inputs, settle combinational logic.
-  void reset();
+  void reset() override;
 
   // --- inputs / observation ----------------------------------------------
-  void setInput(const std::string& portName, std::uint64_t value);
-  std::uint64_t portValue(const std::string& outputPortName) const;
-  bool netValue(NetId id) const { return values_[id.value] != 0; }
-  std::uint64_t busValue(const std::vector<NetId>& bus) const;
+  void setInput(const std::string& portName, std::uint64_t value) override;
+  std::uint64_t portValue(const std::string& outputPortName) const override;
+  bool netValue(NetId id) const override { return values_[id.value] != 0; }
+  std::uint64_t busValue(const std::vector<NetId>& bus) const override;
 
-  bool flopState(FlopId id) const { return flopState_[id.value] != 0; }
-  std::uint64_t ramWord(RamId id, std::size_t row) const {
+  bool flopState(FlopId id) const override {
+    return flopState_[id.value] != 0;
+  }
+  std::uint64_t ramWord(RamId id, std::size_t row) const override {
     return ram_[id.value].mem[row];
   }
 
   // --- execution ------------------------------------------------------------
   /// Propagate pending combinational events to a fixpoint (delta cycles).
-  void settle();
+  void settle() override;
   /// One positive clock edge followed by combinational settling.
-  void step();
-  void run(std::uint64_t cycles);
-  std::uint64_t cycle() const { return cycle_; }
+  void step() override;
+  void run(std::uint64_t cycles) override;
+  std::uint64_t cycle() const override { return cycle_; }
 
   // --- simulator commands (the VFIT injection mechanism) -------------------
   /// Override a net's value regardless of its driver, until release().
-  void force(NetId id, bool value);
-  void release(NetId id);
-  bool isForced(NetId id) const { return forced_[id.value] != 0; }
+  void force(NetId id, bool value) override;
+  void release(NetId id) override;
+  bool isForced(NetId id) const override { return forced_[id.value] != 0; }
   /// Overwrite a flip-flop's stored state (bit-flip style deposit); the new
   /// value propagates immediately.
-  void depositFlop(FlopId id, bool value);
+  void depositFlop(FlopId id, bool value) override;
   /// Overwrite one stored memory word (bit-flips into RAM contents).
-  void depositRam(RamId id, std::size_t row, std::uint64_t value);
+  void depositRam(RamId id, std::size_t row, std::uint64_t value) override;
 
   // --- checkpoint -----------------------------------------------------------
   Snapshot snapshot() const;
@@ -79,7 +82,7 @@ class Simulator {
   // --- activity accounting ----------------------------------------------------
   /// Total gate evaluations + state-element updates performed so far; the
   /// VFIT cost model converts this to modeled CPU seconds.
-  std::uint64_t eventsProcessed() const { return events_; }
+  std::uint64_t eventsProcessed() const override { return events_; }
 
  private:
   struct RamState {

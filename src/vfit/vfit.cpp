@@ -1,6 +1,7 @@
 #include "vfit/vfit.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/error.hpp"
 #include "obs/log.hpp"
@@ -19,7 +20,23 @@ VfitTool::VfitTool(const Netlist& netlist, std::uint64_t runCycles,
     : nl_(netlist), runCycles_(runCycles), opt_(std::move(options)) {
   sim_ = std::make_unique<sim::Simulator>(nl_);
 
-  // Golden run: trace, checkpoints, final state, event count.
+  // Observed output bit layout (outputWord packs 16 bits per port), cached
+  // as (packed position, net) pairs for the bit-parallel wave inner loop.
+  unsigned shift = 0;
+  for (const auto& portName : opt_.observedOutputs) {
+    const auto* port = nl_.findOutput(portName);
+    require(port != nullptr, ErrorKind::InvalidArgument,
+            "no output port '" + portName + "'");
+    for (std::size_t j = 0; j < port->nets.size(); ++j) {
+      obsBits_.emplace_back(shift + static_cast<unsigned>(j),
+                            port->nets[j].value);
+    }
+    shift += 16;
+  }
+
+  // Golden run: trace, checkpoints, final state, event count. Always on
+  // the event-driven engine - it is the cost-model calibration (real event
+  // counts) and the reference the compiled engine is checked against.
   sim_->reset();
   const auto eventsBefore = sim_->eventsProcessed();
   golden_.outputs.reserve(runCycles_);
@@ -33,6 +50,10 @@ VfitTool::VfitTool(const Netlist& netlist, std::uint64_t runCycles,
   captureFinalState(golden_);
   goldenEvents_ = sim_->eventsProcessed() - eventsBefore;
   goldenSeconds_ = static_cast<double>(goldenEvents_) * opt_.secondsPerEvent;
+
+  if (opt_.engine == sim::EngineKind::Compiled) {
+    csim_ = std::make_unique<sim::CompiledSimulator>(nl_);
+  }
 }
 
 std::uint64_t VfitTool::outputWord() const {
@@ -217,9 +238,8 @@ Outcome VfitTool::runExperiment(FaultModel model, TargetClass targets,
   return campaign::classify(golden_, faulty);
 }
 
-CampaignResult VfitTool::runCampaign(const CampaignSpec& spec) {
-  CampaignResult result;
-  result.spec = spec;
+std::vector<std::uint32_t> VfitTool::campaignPool(
+    const CampaignSpec& spec) const {
   const auto unit = static_cast<Unit>(spec.unit);
 
   // Enumerate targets up front (the fault-location process).
@@ -256,66 +276,348 @@ CampaignResult VfitTool::runCampaign(const CampaignSpec& spec) {
   }
   require(!targets.empty(), ErrorKind::InjectionError,
           "no VFIT targets in the selected unit");
+  return targets;
+}
 
-  obs::Span campaignSpan{"vfit.campaign",
-                         {{"model", campaign::toString(spec.model)},
-                          {"targets", campaign::toString(spec.targets)}}};
+Unit VfitTool::targetUnit(const CampaignSpec& spec,
+                          std::uint32_t target) const {
   // Component attribution for records: resolve a target back to the unit
   // annotation on its netlist element (flop, ram, or the gate driving the
   // faulted signal), mirroring FadesTool::targetUnit at the HDL level.
-  auto targetUnit = [&](std::uint32_t target) {
-    switch (spec.targets) {
-      case TargetClass::SequentialFF:
-        return nl_.flops()[target].unit;
-      case TargetClass::MemoryBlockBit:
-        return nl_.ram(RamId{target >> 24}).unit;
-      case TargetClass::SequentialLine:
-        for (const auto& f : nl_.flops()) {
-          if (f.q.value == target) return f.unit;
-        }
-        return Unit::None;
-      case TargetClass::CombinationalLut:
-      case TargetClass::CbInputLine:
-      case TargetClass::CombinationalLine:
-        for (const auto& g : nl_.gates()) {
-          if (g.out.value == target) return g.unit;
-        }
-        return Unit::None;
+  switch (spec.targets) {
+    case TargetClass::SequentialFF:
+      return nl_.flops()[target].unit;
+    case TargetClass::MemoryBlockBit:
+      return nl_.ram(RamId{target >> 24}).unit;
+    case TargetClass::SequentialLine:
+      for (const auto& f : nl_.flops()) {
+        if (f.q.value == target) return f.unit;
+      }
+      return Unit::None;
+    case TargetClass::CombinationalLut:
+    case TargetClass::CbInputLine:
+    case TargetClass::CombinationalLine:
+      for (const auto& g : nl_.gates()) {
+        if (g.out.value == target) return g.unit;
+      }
+      return Unit::None;
+  }
+  return Unit::None;
+}
+
+VfitTool::LanePlan VfitTool::planExperiment(const CampaignSpec& spec,
+                                            std::span<const std::uint32_t> pool,
+                                            unsigned index) const {
+  // Replicates the serial path's draw order exactly: the campaign loop's
+  // target / instant / duration, then runExperiment's effective-cycle and
+  // indetermination draws, all from the same per-experiment stream.
+  LanePlan p;
+  p.index = index;
+  Rng erng(common::streamSeed(spec.seed, std::uint64_t{index} * 131));
+  p.target = pool[erng.below(pool.size())];
+  p.injectCycle = erng.below(runCycles_);
+  p.duration = spec.band.minCycles +
+               erng.uniform01() * (spec.band.maxCycles - spec.band.minCycles);
+
+  std::uint64_t effectiveCycles;
+  if (p.duration < 1.0) {
+    effectiveCycles = erng.uniform01() < p.duration ? 1 : 0;
+  } else {
+    effectiveCycles = static_cast<std::uint64_t>(p.duration + 0.5);
+  }
+  p.window = std::min(effectiveCycles, runCycles_ - p.injectCycle);
+
+  switch (spec.model) {
+    case FaultModel::BitFlip:
+      p.commands = 1;
+      break;
+    case FaultModel::Pulse:
+      // release + force per active cycle, final release.
+      p.commands = static_cast<unsigned>(2 * p.window + 1);
+      break;
+    case FaultModel::Indetermination: {
+      bool value = erng.coin();
+      p.values.reserve(p.window);
+      for (std::uint64_t k = 0; k < p.window; ++k) {
+        if (opt_.oscillatingIndetermination && k > 0) value = erng.coin();
+        p.values.push_back(value ? 1 : 0);
+      }
+      // Signals pay a trailing release; deposits do not.
+      p.commands = static_cast<unsigned>(
+          spec.targets == TargetClass::SequentialFF ? p.window
+                                                    : p.window + 1);
+      break;
     }
-    return Unit::None;
-  };
-  for (unsigned e = 0; e < spec.experiments; ++e) {
-    // Same stream derivation as the FADES campaign loop so that identical
-    // specs over identical pools draw identical faults in both tools.
-    Rng erng(common::streamSeed(spec.seed, std::uint64_t{e} * 131));
-    const auto target = targets[erng.below(targets.size())];
-    const auto injectCycle = erng.below(runCycles_);
-    const double duration =
-        spec.band.minCycles +
-        erng.uniform01() * (spec.band.maxCycles - spec.band.minCycles);
-    double seconds = 0;
-    unsigned commands = 0;
-    const Outcome o = runExperiment(spec.model, spec.targets, target,
-                                    injectCycle, duration, erng, &seconds,
-                                    &commands);
-    result.add(o, seconds);
-    result.cost.configSeconds += commands * opt_.secondsPerCommand;
-    result.cost.workloadSeconds += goldenSeconds_;
-    result.cost.hostSeconds += opt_.secondsFixedPerExperiment;
-    if (opt_.keepRecords) {
-      result.records.push_back(campaign::ExperimentRecord{
-          std::to_string(target), injectCycle, duration, o, seconds});
-      result.records.back().component =
-          netlist::toString(targetUnit(target));
+    case FaultModel::Delay:
+      raise(ErrorKind::InjectionError,
+            "VFIT cannot inject delay faults (no generic delay clauses)");
+  }
+  return p;
+}
+
+campaign::ExperimentOutcome VfitTool::makeOutcome(const CampaignSpec& spec,
+                                                  const LanePlan& plan,
+                                                  Outcome outcome) const {
+  campaign::ExperimentOutcome out;
+  out.index = plan.index;
+  out.outcome = outcome;
+  // Same expression (and operand order) as runExperiment's modeledSeconds,
+  // so the sums fold bit-identically.
+  out.modeledSeconds = opt_.secondsFixedPerExperiment + goldenSeconds_ +
+                       plan.commands * opt_.secondsPerCommand;
+  out.configSeconds = plan.commands * opt_.secondsPerCommand;
+  out.workloadSeconds = goldenSeconds_;
+  out.hostSeconds = opt_.secondsFixedPerExperiment;
+  if (opt_.keepRecords) {
+    out.hasRecord = true;
+    out.record = campaign::ExperimentRecord{
+        std::to_string(plan.target), plan.injectCycle, plan.duration, outcome,
+        out.modeledSeconds};
+    out.record.component = netlist::toString(targetUnit(spec, plan.target));
+  }
+  return out;
+}
+
+campaign::ExperimentOutcome VfitTool::runCampaignExperiment(
+    const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+    unsigned index) {
+  // Same stream derivation as the FADES campaign loop so that identical
+  // specs over identical pools draw identical faults in both tools.
+  Rng erng(common::streamSeed(spec.seed, std::uint64_t{index} * 131));
+  LanePlan plan;
+  plan.index = index;
+  plan.target = pool[erng.below(pool.size())];
+  plan.injectCycle = erng.below(runCycles_);
+  plan.duration =
+      spec.band.minCycles +
+      erng.uniform01() * (spec.band.maxCycles - spec.band.minCycles);
+  const Outcome o =
+      runExperiment(spec.model, spec.targets, plan.target, plan.injectCycle,
+                    plan.duration, erng, nullptr, &plan.commands);
+  return makeOutcome(spec, plan, o);
+}
+
+std::vector<campaign::ExperimentOutcome> VfitTool::runCampaignWave(
+    const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+    std::span<const unsigned> indices) {
+  require(csim_ != nullptr, ErrorKind::InvalidArgument,
+          "runCampaignWave needs VfitOptions::engine == Compiled");
+  require(indices.size() <= kWaveExperiments, ErrorKind::InvalidArgument,
+          "wave exceeds the lane budget");
+  require(supports(spec.model), ErrorKind::InjectionError,
+          "VFIT cannot inject delay faults (no generic delay clauses)");
+
+  using Word = sim::CompiledSimulator::Word;
+  const unsigned n = static_cast<unsigned>(indices.size());
+  std::vector<LanePlan> plans;
+  plans.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    plans.push_back(planExperiment(spec, pool, indices[i]));
+    require(plans.back().injectCycle < runCycles_, ErrorKind::InvalidArgument,
+            "injection instant beyond workload");
+  }
+
+  auto& csim = *csim_;
+  csim.reset();
+
+  // Per-lane output traces; experiment i lives in lane i+1 (lane 0 stays
+  // golden and is checked against the event-driven golden run every cycle).
+  std::vector<std::vector<std::uint64_t>> outputs(n);
+  for (auto& t : outputs) t.reserve(runCycles_);
+  std::vector<std::uint64_t> cw(n + 1, 0);
+
+  for (std::uint64_t c = 0; c < runCycles_; ++c) {
+    bool acted = false;
+    for (unsigned i = 0; i < n; ++i) {
+      const LanePlan& p = plans[i];
+      const Word laneBit = Word{1} << (i + 1);
+      switch (spec.model) {
+        case FaultModel::BitFlip:
+          if (c == p.injectCycle) {
+            if (spec.targets == TargetClass::SequentialFF) {
+              csim.xorFlopLanes(FlopId{p.target}, laneBit);
+            } else {
+              const RamId ram{p.target >> 24};
+              const std::size_t row = (p.target >> 8) & 0xFFFF;
+              const unsigned bit = p.target & 0xFF;
+              csim.xorRamBitLanes(ram, row, bit, laneBit);
+            }
+            acted = true;
+          }
+          break;
+        case FaultModel::Pulse:
+          // The per-cycle release + force(!value) loop of the serial path
+          // is, observably, a persistent inversion across the window.
+          if (p.window != 0) {
+            if (c == p.injectCycle) {
+              csim.xorNetLanes(NetId{p.target}, laneBit);
+              acted = true;
+            } else if (c == p.injectCycle + p.window) {
+              csim.clearXorNetLanes(NetId{p.target}, laneBit);
+              acted = true;
+            }
+          }
+          break;
+        case FaultModel::Indetermination: {
+          const bool ff = spec.targets == TargetClass::SequentialFF;
+          if (c >= p.injectCycle && c < p.injectCycle + p.window) {
+            const std::uint64_t k = c - p.injectCycle;
+            const Word v = p.values[static_cast<std::size_t>(k)] ? laneBit
+                                                                 : Word{0};
+            if (ff) {
+              csim.depositFlopLanes(FlopId{p.target}, laneBit, v);
+            } else {
+              csim.forceLanes(NetId{p.target}, laneBit, v);
+            }
+            acted = true;
+          } else if (!ff && p.window != 0 && c == p.injectCycle + p.window) {
+            csim.releaseLanes(NetId{p.target}, laneBit);
+            acted = true;
+          }
+          break;
+        }
+        case FaultModel::Delay:
+          break;  // rejected above
+      }
     }
-    if ((e + 1) % 100 == 0 || e + 1 == spec.experiments) {
-      FADES_LOG(Debug) << "vfit campaign progress"
-                       << obs::kv("done", e + 1)
+    if (acted) csim.settle();
+
+    // Observe all lanes in one sweep over the cached output bits.
+    std::fill(cw.begin(), cw.end(), 0);
+    for (const auto& [pos, net] : obsBits_) {
+      const Word word = csim.netWord(NetId{net});
+      if (word == 0) continue;
+      const std::uint64_t bit = std::uint64_t{1} << pos;
+      for (unsigned l = 0; l <= n; ++l) {
+        if ((word >> l) & 1) cw[l] |= bit;
+      }
+    }
+    require(cw[0] == golden_.outputs[c], ErrorKind::ConfigError,
+            "compiled golden lane diverged from the event-driven golden run");
+    for (unsigned i = 0; i < n; ++i) outputs[i].push_back(cw[i + 1]);
+
+    csim.step();
+  }
+
+  // Final-state signatures and classification, per lane.
+  auto& registry = obs::Registry::global();
+  std::vector<campaign::ExperimentOutcome> out;
+  out.reserve(n);
+  Observation faulty;
+  for (unsigned i = 0; i <= n; ++i) {
+    const unsigned lane = i;  // experiment i-1 lives in lane i; lane 0 golden
+    faulty.finalFlops.clear();
+    faulty.finalFlops.reserve(nl_.flopCount());
+    for (std::uint32_t f = 0; f < nl_.flopCount(); ++f) {
+      faulty.finalFlops.push_back(csim.flopStateLane(FlopId{f}, lane) ? 1 : 0);
+    }
+    faulty.finalMemory.clear();
+    for (std::uint32_t r = 0; r < nl_.ramCount(); ++r) {
+      const auto& ram = nl_.ram(RamId{r});
+      for (std::size_t row = 0; row < ram.depth(); ++row) {
+        faulty.finalMemory.push_back(csim.ramWordLane(RamId{r}, row, lane));
+      }
+    }
+    if (i == 0) {
+      // Golden-lane self check: the compiled machine nobody perturbed must
+      // finish in exactly the event-driven golden state.
+      require(faulty.finalFlops == golden_.finalFlops &&
+                  faulty.finalMemory == golden_.finalMemory,
+              ErrorKind::ConfigError,
+              "compiled golden lane final state diverged from the "
+              "event-driven golden run");
+      continue;
+    }
+    faulty.outputs = std::move(outputs[i - 1]);
+    const Outcome o = campaign::classify(golden_, faulty);
+    registry.counter("vfit.commands").add(plans[i - 1].commands);
+    registry.counter("vfit.experiments").inc();
+    out.push_back(makeOutcome(spec, plans[i - 1], o));
+  }
+  return out;
+}
+
+CampaignResult VfitTool::runCampaign(const CampaignSpec& spec) {
+  const std::vector<std::uint32_t> targets = campaignPool(spec);
+
+  obs::Span campaignSpan{"vfit.campaign",
+                         {{"model", campaign::toString(spec.model)},
+                          {"targets", campaign::toString(spec.targets)},
+                          {"engine", sim::toString(opt_.engine)}}};
+  CampaignResult result;
+  result.spec = spec;
+  auto note = [&](unsigned done) {
+    if (done % 100 == 0 || done == spec.experiments) {
+      FADES_LOG(Debug) << "vfit campaign progress" << obs::kv("done", done)
                        << obs::kv("total", spec.experiments)
                        << obs::kv("failures", result.failures);
     }
+  };
+  if (opt_.engine == sim::EngineKind::Compiled) {
+    std::vector<unsigned> indices;
+    for (unsigned first = 0; first < spec.experiments;
+         first += kWaveExperiments) {
+      const unsigned count =
+          std::min(kWaveExperiments, spec.experiments - first);
+      indices.resize(count);
+      std::iota(indices.begin(), indices.end(), first);
+      for (auto& o : runCampaignWave(spec, targets, indices)) {
+        result.fold(o);
+        note(static_cast<unsigned>(o.index) + 1);
+      }
+    }
+  } else {
+    for (unsigned e = 0; e < spec.experiments; ++e) {
+      result.fold(runCampaignExperiment(spec, targets, e));
+      note(e + 1);
+    }
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// VfitCampaignEngine
+// ---------------------------------------------------------------------------
+
+VfitCampaignEngine::VfitCampaignEngine(const Netlist& netlist,
+                                       std::uint64_t runCycles,
+                                       VfitOptions options)
+    : tool_(netlist, runCycles, std::move(options)) {}
+
+std::vector<std::uint32_t> VfitCampaignEngine::enumeratePool(
+    const CampaignSpec& spec) {
+  return tool_.campaignPool(spec);
+}
+
+campaign::ExperimentOutcome VfitCampaignEngine::runExperimentAt(
+    const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+    unsigned index, unsigned rerun) {
+  // No link model on the simulator side: reruns replay identically.
+  (void)rerun;
+  return tool_.runCampaignExperiment(spec, pool, index);
+}
+
+unsigned VfitCampaignEngine::waveWidth() const {
+  return tool_.engine() == sim::EngineKind::Compiled
+             ? VfitTool::kWaveExperiments
+             : 1;
+}
+
+std::vector<campaign::ExperimentOutcome> VfitCampaignEngine::runWaveAt(
+    const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+    std::span<const unsigned> indices, unsigned rerun) {
+  if (tool_.engine() == sim::EngineKind::Compiled) {
+    return tool_.runCampaignWave(spec, pool, indices);
+  }
+  return CampaignEngine::runWaveAt(spec, pool, indices, rerun);
+}
+
+campaign::EngineFactory vfitEngineFactory(const Netlist& netlist,
+                                          std::uint64_t runCycles,
+                                          VfitOptions options) {
+  return [&netlist, runCycles, options] {
+    return std::make_unique<VfitCampaignEngine>(netlist, runCycles, options);
+  };
 }
 
 }  // namespace fades::vfit

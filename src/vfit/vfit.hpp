@@ -14,12 +14,16 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "campaign/parallel.hpp"
 #include "campaign/types.hpp"
 #include "common/rng.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace fades::vfit {
@@ -54,6 +58,14 @@ struct VfitOptions {
   bool oscillatingIndetermination = false;
   /// Keep per-experiment records in the campaign result.
   bool keepRecords = false;
+  /// Execution engine for campaign experiments. EventDriven replays each
+  /// experiment from a golden checkpoint on the event-driven simulator;
+  /// Compiled packs up to 63 experiments per 64-lane bit-parallel wave.
+  /// Either way outcomes, records and modeled costs are bit-identical: the
+  /// golden run (and therefore the modeled cost calibration) always comes
+  /// from the event-driven engine, and the CompiledEquivalence suite pins
+  /// the fault semantics to it.
+  sim::EngineKind engine = sim::EngineKind::EventDriven;
 };
 
 class VfitTool {
@@ -73,6 +85,35 @@ class VfitTool {
 
   CampaignResult runCampaign(const CampaignSpec& spec);
 
+  /// Deterministic target enumeration for a spec (the fault-location
+  /// process); shared by the serial loop, the parallel runner and the
+  /// bit-parallel wave path.
+  std::vector<std::uint32_t> campaignPool(const CampaignSpec& spec) const;
+
+  /// Campaign experiment `index` as a pure function of (spec, pool, index),
+  /// on the event-driven engine. This is the per-index unit the parallel
+  /// runner shards and the reference the compiled wave path must match
+  /// field-for-field.
+  campaign::ExperimentOutcome runCampaignExperiment(
+      const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+      unsigned index);
+
+  /// Experiments per compiled wave: 63 faulty lanes; lane 0 stays golden
+  /// and is checked against the event-driven golden run every wave.
+  static constexpr unsigned kWaveExperiments =
+      sim::CompiledSimulator::kLanes - 1;
+
+  /// Run the experiments named by `indices` (at most kWaveExperiments) in
+  /// one bit-parallel pass on the compiled engine. Lane assignment is
+  /// irrelevant to the result - lanes are independent machines - so partial
+  /// waves and arbitrary index subsets return exactly what
+  /// runCampaignExperiment returns per index. Requires engine == Compiled.
+  std::vector<campaign::ExperimentOutcome> runCampaignWave(
+      const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+      std::span<const unsigned> indices);
+
+  sim::EngineKind engine() const { return opt_.engine; }
+
   /// Single experiment; exposed for tests. `commandsOut` reports how many
   /// simulator commands (force / release / deposit) the injection issued.
   Outcome runExperiment(FaultModel model, TargetClass targets,
@@ -85,6 +126,26 @@ class VfitTool {
   double goldenModelSeconds() const { return goldenSeconds_; }
 
  private:
+  /// Pre-drawn fault script of one experiment: every random draw of the
+  /// serial loop + runExperiment, in the identical order, so the wave path
+  /// consumes the per-experiment RNG stream exactly as the event-driven
+  /// path does.
+  struct LanePlan {
+    unsigned index = 0;
+    std::uint32_t target = 0;
+    std::uint64_t injectCycle = 0;
+    double duration = 0;
+    std::uint64_t window = 0;  // active cycles, clipped to the workload end
+    unsigned commands = 0;
+    std::vector<std::uint8_t> values;  // indetermination value per cycle
+  };
+  LanePlan planExperiment(const CampaignSpec& spec,
+                          std::span<const std::uint32_t> pool,
+                          unsigned index) const;
+  Unit targetUnit(const CampaignSpec& spec, std::uint32_t target) const;
+  campaign::ExperimentOutcome makeOutcome(const CampaignSpec& spec,
+                                          const LanePlan& plan,
+                                          Outcome outcome) const;
   Observation observeRun(std::uint64_t fromCycle,
                          const std::vector<std::uint64_t>& prefixOutputs);
   std::uint64_t outputWord() const;
@@ -96,11 +157,48 @@ class VfitTool {
   std::uint64_t runCycles_;
   VfitOptions opt_;
   std::unique_ptr<sim::Simulator> sim_;
+  /// Built only when opt_.engine == Compiled; campaign waves run here.
+  std::unique_ptr<sim::CompiledSimulator> csim_;
+  /// Observed output nets with their packed bit positions (outputWord
+  /// layout: 16 bits per observed port), cached for the wave inner loop.
+  std::vector<std::pair<unsigned, std::uint32_t>> obsBits_;
 
   Observation golden_;
   std::vector<sim::Snapshot> checkpoints_;  // every checkpointInterval cycles
   std::uint64_t goldenEvents_ = 0;
   double goldenSeconds_ = 0;
 };
+
+/// One worker's VFIT replica for the sharded campaign runner - the
+/// simulator-side counterpart of FadesCampaignEngine. With the compiled
+/// engine selected it leases whole waves (waveWidth() = 63) and runs them
+/// bit-parallel; outcomes stay bit-identical to the event-driven engine at
+/// any --jobs.
+class VfitCampaignEngine final : public campaign::CampaignEngine {
+ public:
+  VfitCampaignEngine(const Netlist& netlist, std::uint64_t runCycles,
+                     VfitOptions options);
+
+  std::vector<std::uint32_t> enumeratePool(const CampaignSpec& spec) override;
+  campaign::ExperimentOutcome runExperimentAt(
+      const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+      unsigned index, unsigned rerun) override;
+  unsigned waveWidth() const override;
+  std::vector<campaign::ExperimentOutcome> runWaveAt(
+      const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+      std::span<const unsigned> indices, unsigned rerun) override;
+
+  VfitTool& tool() { return tool_; }
+
+ private:
+  VfitTool tool_;
+};
+
+/// Factory for the parallel campaign runner: every worker gets its own
+/// VfitTool replica (each pays the golden run in its own thread). The
+/// netlist reference must outlive the runner.
+campaign::EngineFactory vfitEngineFactory(const Netlist& netlist,
+                                          std::uint64_t runCycles,
+                                          VfitOptions options = {});
 
 }  // namespace fades::vfit

@@ -52,6 +52,14 @@ TEST_P(CorpusReplay, OracleAgrees) {
   for (const auto& v : report.violations) {
     ADD_FAILURE() << c.name << ": " << v.rule << ": " << v.detail;
   }
+  // Engine invariance: replaying the same case with VFIT on the compiled
+  // bit-parallel engine must reproduce the oracle verdict byte-for-byte -
+  // same violations (none), same tallies, same modeled costs.
+  OracleOptions compiled;
+  compiled.vfitEngine = sim::EngineKind::Compiled;
+  const CaseReport creport = checkCase(c, compiled);
+  EXPECT_EQ(report.toJson().dump(), creport.toJson().dump())
+      << c.name << ": oracle report differs between VFIT engines";
 }
 
 std::string caseNameFromPath(const std::string& path) {
