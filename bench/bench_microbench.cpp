@@ -11,6 +11,7 @@
 
 #include "bits/config_port.hpp"
 #include "campaign/types.hpp"
+#include "core/autonomous.hpp"
 #include "core/fades.hpp"
 #include "fpga/device.hpp"
 #include "mc8051/core.hpp"
@@ -115,6 +116,85 @@ void BM_VfitCampaignCompiled(benchmark::State& state) {
 }
 BENCHMARK(BM_VfitCampaignCompiled)
     ->Arg(1)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Autonomous campaigns on the same workload and experiment counts; the
+// semantic engine is shared with VFIT, so items/s differences against the
+// VFIT pair above isolate the autonomous metering and instrumentation
+// bookkeeping (including the one-time transparency check in the fixture).
+struct AutonomousShared {
+  core::AutonomousTool event;
+  core::AutonomousTool compiled;
+
+  static core::AutonomousOptions options(sim::EngineKind kind) {
+    core::AutonomousOptions opt;
+    opt.engine = kind;
+    return opt;
+  }
+  AutonomousShared()
+      : event(Shared::get().nl, Shared::get().workload.cycles,
+              options(sim::EngineKind::EventDriven)),
+        compiled(Shared::get().nl, Shared::get().workload.cycles,
+                 options(sim::EngineKind::Compiled)) {}
+  static AutonomousShared& get() {
+    static AutonomousShared s;
+    return s;
+  }
+};
+
+void runAutonomousCampaign(benchmark::State& state,
+                           core::AutonomousTool& tool) {
+  campaign::CampaignSpec spec;
+  spec.model = campaign::FaultModel::BitFlip;
+  spec.targets = campaign::TargetClass::SequentialFF;
+  spec.experiments = static_cast<unsigned>(state.range(0));
+  spec.seed = 7;
+  for (auto _ : state) benchmark::DoNotOptimize(tool.runCampaign(spec));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_AutonomousCampaignEventDriven(benchmark::State& state) {
+  runAutonomousCampaign(state, AutonomousShared::get().event);
+}
+BENCHMARK(BM_AutonomousCampaignEventDriven)
+    ->Arg(1)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_AutonomousCampaignCompiled(benchmark::State& state) {
+  runAutonomousCampaign(state, AutonomousShared::get().compiled);
+}
+BENCHMARK(BM_AutonomousCampaignCompiled)
+    ->Arg(1)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// RTR vs autonomous, per-injection modeled time on the same MC8051 bit-flip
+// campaign. The `modeled_speedup` counter is the number CI gates (>= 5x):
+// it compares the board-link cost model (frame readback + partial frames +
+// host turnaround per injection) against the autonomous one (mask-chain
+// load + restore sweep at emulator clock), so it is machine-independent.
+void BM_AutonomousVsRtrModeledSpeedup(benchmark::State& state) {
+  const auto& s = Shared::get();
+  core::FadesOptions fOpt;
+  fOpt.observedOutputs = {"p0", "p1"};
+  fpga::Device dev(s.impl.spec);
+  core::FadesTool rtr(dev, s.impl, s.workload.cycles, fOpt);
+  auto& aut = AutonomousShared::get().event;
+
+  campaign::CampaignSpec spec;
+  spec.model = campaign::FaultModel::BitFlip;
+  spec.targets = campaign::TargetClass::SequentialFF;
+  spec.experiments = 24;
+  spec.seed = 7;
+
+  double rtrMean = 0, autMean = 0;
+  for (auto _ : state) {
+    rtrMean = rtr.runCampaign(spec).modeledSeconds.mean();
+    autMean = aut.runCampaign(spec).modeledSeconds.mean();
+  }
+  state.counters["rtr_injection_seconds"] = rtrMean;
+  state.counters["autonomous_injection_seconds"] = autMean;
+  state.counters["modeled_speedup"] = rtrMean / autMean;
+  state.SetItemsProcessed(state.iterations() * 2 * spec.experiments);
+}
+BENCHMARK(BM_AutonomousVsRtrModeledSpeedup)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
 
 void BM_FpgaEmulationCycle(benchmark::State& state) {
   const auto& s = Shared::get();

@@ -3,17 +3,21 @@
 // set-up tool (Figure 9).
 //
 // Usage:
-//   campaign_8051 [--tool fades|vfit] [--engine event|compiled]
+//   campaign_8051 [--tool fades|vfit|autonomous] [--engine event|compiled]
 //                 [--jobs N|auto] [--no-cache] [--link-faults R]
 //                 [--checkpoint FILE] [--resume] [--fsync]
 //                 [model] [targets] [unit] [faults] [band] [artifact.json]
 //     --tool   which injector runs the campaign: fades (run-time
-//              reconfiguration on the emulated FPGA, the default) or vfit
-//              (simulator commands on the HDL model).
-//     --engine vfit execution engine: event (event-driven replay, default)
-//              or compiled (63 experiments per bit-parallel wave). Outcomes
-//              and artifacts are bit-identical either way; only wall-clock
-//              changes. Requires --tool vfit.
+//              reconfiguration on the emulated FPGA, the default), vfit
+//              (simulator commands on the HDL model) or autonomous
+//              (injection support compiled into the design - masks, shadow
+//              state and single-cycle restore; zero configuration bytes
+//              per injection).
+//     --engine execution engine for the simulator-backed tools: event
+//              (event-driven replay, default) or compiled (63 experiments
+//              per bit-parallel wave). Outcomes and artifacts are
+//              bit-identical either way; only wall-clock changes. Requires
+//              --tool vfit or autonomous.
 //     --jobs N shard the campaign across N worker threads, each with its
 //              own device replica ("auto" = one per hardware thread; env
 //              FADES_JOBS is the fallback; default 1). Changes wall-clock
@@ -58,6 +62,7 @@
 #include "campaign/journal.hpp"
 #include "campaign/parallel.hpp"
 #include "campaign/types.hpp"
+#include "core/autonomous.hpp"
 #include "core/fades.hpp"
 #include "fpga/device.hpp"
 #include "mc8051/core.hpp"
@@ -72,7 +77,8 @@ using namespace fades;
 namespace {
 
 constexpr const char* kUsage =
-    "usage: campaign_8051 [--tool fades|vfit] [--engine event|compiled]\n"
+    "usage: campaign_8051 [--tool fades|vfit|autonomous]\n"
+    "                     [--engine event|compiled]\n"
     "                     [--jobs N|auto] [--no-cache] [--link-faults R]\n"
     "                     [--checkpoint FILE] [--resume] [--fsync]\n"
     "                     [model] [targets] [unit] [faults] [band]\n"
@@ -171,21 +177,24 @@ int main(int argc, char** argv) {
   if (resume && checkpointPath.empty()) {
     usageError("--resume requires --checkpoint FILE");
   }
-  if (toolArg != "fades" && toolArg != "vfit") {
-    usageError("--tool expects fades or vfit, got '" + toolArg + "'");
+  if (toolArg != "fades" && toolArg != "vfit" && toolArg != "autonomous") {
+    usageError("--tool expects fades, vfit or autonomous, got '" + toolArg +
+               "'");
   }
   sim::EngineKind engineKind = sim::EngineKind::EventDriven;
   if (!engineArg.empty()) {
-    if (toolArg != "vfit") {
-      usageError("--engine requires --tool vfit (FADES drives the FPGA)");
+    if (toolArg == "fades") {
+      usageError("--engine requires --tool vfit or autonomous (FADES drives "
+                 "the FPGA)");
     }
     if (!sim::engineKindFromString(engineArg, engineKind)) {
       usageError("--engine expects event or compiled, got '" + engineArg +
                  "'");
     }
   }
-  if (toolArg == "vfit" && linkFaultRate > 0.0) {
-    usageError("--link-faults requires --tool fades (no board link in VFIT)");
+  if (toolArg != "fades" && linkFaultRate > 0.0) {
+    usageError("--link-faults requires --tool fades (the other injectors "
+               "move no frames over a board link)");
   }
   if (positional.size() > 6) {
     usageError("too many positional arguments");
@@ -271,6 +280,11 @@ int main(int argc, char** argv) {
     vopt.keepRecords = options.keepRecords;
     vopt.engine = engineKind;
     factory = vfit::vfitEngineFactory(netlist, workload.cycles, vopt);
+  } else if (toolArg == "autonomous") {
+    core::AutonomousOptions aopt;
+    aopt.keepRecords = options.keepRecords;
+    aopt.engine = engineKind;
+    factory = core::autonomousEngineFactory(netlist, workload.cycles, aopt);
   } else {
     factory = core::fadesEngineFactory(impl, workload.cycles, options);
   }
@@ -280,8 +294,8 @@ int main(int argc, char** argv) {
               spec.experiments, campaign::toString(spec.model),
               campaign::toString(spec.targets));
   std::printf(" (tool %s%s%s, unit %s, duration %s cycles, %u worker%s)...\n",
-              toolArg.c_str(), toolArg == "vfit" ? " engine " : "",
-              toolArg == "vfit" ? sim::toString(engineKind) : "",
+              toolArg.c_str(), toolArg != "fades" ? " engine " : "",
+              toolArg != "fades" ? sim::toString(engineKind) : "",
               unitArg.c_str(), spec.band.label.c_str(), runner.jobs(),
               runner.jobs() == 1 ? "" : "s");
   const auto result = runner.run(spec);

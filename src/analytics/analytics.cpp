@@ -189,6 +189,11 @@ CampaignInput loadJournal(const std::string& path) {
       input.records.push_back(std::move(outcome.record));
     }
   }
+  // An empty file (or one whose only line is torn) never saw the header
+  // check above; it is not a journal, and silently folding it as zero
+  // experiments would hide the broken input.
+  require(haveHeader, ErrorKind::ConfigError,
+          "'" + path + "' has no valid " + kJournalSchema + " header");
   return input;
 }
 

@@ -1,0 +1,215 @@
+#include "core/autonomous.hpp"
+
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace fades::core {
+
+using campaign::CampaignResult;
+using campaign::CampaignSpec;
+using common::ErrorKind;
+using common::require;
+using netlist::Netlist;
+using netlist::RamId;
+
+namespace {
+
+/// The semantic engine runs the SOURCE model under VFIT fault semantics (an
+/// injection is the same state perturbation whichever injector applies it);
+/// only the metering differs, and remeter() below replaces it wholesale.
+vfit::VfitOptions semanticOptions(const AutonomousOptions& o) {
+  vfit::VfitOptions v;
+  v.observedOutputs = o.observedOutputs;
+  v.checkpointInterval = o.checkpointInterval;
+  v.oscillatingIndetermination = o.oscillatingIndetermination;
+  v.keepRecords = o.keepRecords;
+  v.engine = o.engine;
+  v.metricsPrefix = "autonomous";
+  return v;
+}
+
+}  // namespace
+
+AutonomousTool::AutonomousTool(const Netlist& netlist, std::uint64_t runCycles,
+                               AutonomousOptions options)
+    : runCycles_(runCycles),
+      opt_(std::move(options)),
+      model_(synth::instrumentAutonomous(netlist)),
+      vfit_(netlist, runCycles, semanticOptions(opt_)) {
+  // Restore sweep: one cycle writes every shadow flip-flop back at once;
+  // each shadow memory row is then replayed through the write port.
+  for (std::uint32_t r = 0; r < netlist.ramCount(); ++r) {
+    const auto& ram = netlist.ram(RamId{r});
+    if (!ram.isRom()) restoreCycles_ += ram.depth();
+  }
+  if (opt_.verifyInstrumentation) verifyInstrumentation();
+}
+
+void AutonomousTool::verifyInstrumentation() {
+  // With every am_* control at 0 the instrumented model must be
+  // cycle-accurate equivalent to the source: same observed outputs for the
+  // whole workload. reset() zeroes all inputs, so not touching the control
+  // ports is exactly the all-zeros condition.
+  sim::Simulator isim(model_.netlist);
+  isim.reset();
+  const auto& golden = vfit_.golden().outputs;
+  for (std::uint64_t c = 0; c < runCycles_; ++c) {
+    std::uint64_t w = 0;
+    unsigned shift = 0;
+    for (const auto& port : opt_.observedOutputs) {
+      w |= isim.portValue(port) << shift;
+      shift += 16;
+    }
+    require(w == golden[c], ErrorKind::ConfigError,
+            "instrumented model diverged from the source model with all "
+            "autonomous controls at 0 (cycle " +
+                std::to_string(c) + ")");
+    isim.step();
+  }
+}
+
+double AutonomousTool::injectionOverheadSeconds(unsigned commands) const {
+  return static_cast<double>(model_.chainBits + commands + restoreCycles_) /
+             opt_.fpgaClockHz +
+         opt_.hostPerInjectionSeconds;
+}
+
+campaign::ExperimentOutcome AutonomousTool::remeter(
+    campaign::ExperimentOutcome out, unsigned commands) const {
+  // Everything the injection does happens inside the emulator at clock
+  // speed: load the mask chain, fire the fault (one activation cycle per
+  // simulator command the VFIT script would have issued), run the workload,
+  // restore the golden state. No configuration frame moves, so the device
+  // byte counters stay 0 - the defining property of autonomous emulation.
+  const double config =
+      static_cast<double>(model_.chainBits + commands + restoreCycles_) /
+      opt_.fpgaClockHz;
+  const double workload = static_cast<double>(runCycles_) / opt_.fpgaClockHz;
+  const double host = opt_.hostPerInjectionSeconds;
+  out.configSeconds = config;
+  out.workloadSeconds = workload;
+  out.hostSeconds = host;
+  out.modeledSeconds = config + workload + host;
+  out.bytesToDevice = 0;
+  out.bytesFromDevice = 0;
+  out.sessions = 0;
+  if (out.hasRecord) out.record.modeledSeconds = out.modeledSeconds;
+  return out;
+}
+
+std::vector<std::uint32_t> AutonomousTool::campaignPool(
+    const CampaignSpec& spec) const {
+  return vfit_.campaignPool(spec);
+}
+
+campaign::ExperimentOutcome AutonomousTool::runCampaignExperiment(
+    const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+    unsigned index) {
+  const auto plan = vfit_.planExperiment(spec, pool, index);
+  return remeter(vfit_.runCampaignExperiment(spec, pool, index),
+                 plan.commands);
+}
+
+std::vector<campaign::ExperimentOutcome> AutonomousTool::runCampaignWave(
+    const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+    std::span<const unsigned> indices) {
+  auto outs = vfit_.runCampaignWave(spec, pool, indices);
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    outs[i] = remeter(std::move(outs[i]),
+                      vfit_.planExperiment(spec, pool, indices[i]).commands);
+  }
+  return outs;
+}
+
+CampaignResult AutonomousTool::runCampaign(const CampaignSpec& spec) {
+  const std::vector<std::uint32_t> targets = campaignPool(spec);
+
+  obs::Span campaignSpan{"autonomous.campaign",
+                         {{"model", campaign::toString(spec.model)},
+                          {"targets", campaign::toString(spec.targets)},
+                          {"engine", sim::toString(opt_.engine)}}};
+  CampaignResult result;
+  result.spec = spec;
+  auto note = [&](unsigned done) {
+    if (done % 100 == 0 || done == spec.experiments) {
+      FADES_LOG(Debug) << "autonomous campaign progress"
+                       << obs::kv("done", done)
+                       << obs::kv("total", spec.experiments)
+                       << obs::kv("failures", result.failures);
+    }
+  };
+  if (opt_.engine == sim::EngineKind::Compiled) {
+    std::vector<unsigned> indices;
+    for (unsigned first = 0; first < spec.experiments;
+         first += kWaveExperiments) {
+      const unsigned count =
+          std::min(kWaveExperiments, spec.experiments - first);
+      indices.resize(count);
+      std::iota(indices.begin(), indices.end(), first);
+      for (auto& o : runCampaignWave(spec, targets, indices)) {
+        result.fold(o);
+        note(static_cast<unsigned>(o.index) + 1);
+      }
+    }
+  } else {
+    for (unsigned e = 0; e < spec.experiments; ++e) {
+      result.fold(runCampaignExperiment(spec, targets, e));
+      note(e + 1);
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// AutonomousCampaignEngine
+// ---------------------------------------------------------------------------
+
+AutonomousCampaignEngine::AutonomousCampaignEngine(const Netlist& netlist,
+                                                   std::uint64_t runCycles,
+                                                   AutonomousOptions options)
+    : tool_(netlist, runCycles, std::move(options)) {}
+
+std::vector<std::uint32_t> AutonomousCampaignEngine::enumeratePool(
+    const CampaignSpec& spec) {
+  return tool_.campaignPool(spec);
+}
+
+campaign::ExperimentOutcome AutonomousCampaignEngine::runExperimentAt(
+    const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+    unsigned index, unsigned rerun) {
+  // No link model: injections never move bytes, so reruns replay identically.
+  (void)rerun;
+  return tool_.runCampaignExperiment(spec, pool, index);
+}
+
+unsigned AutonomousCampaignEngine::waveWidth() const {
+  return tool_.engine() == sim::EngineKind::Compiled
+             ? AutonomousTool::kWaveExperiments
+             : 1;
+}
+
+std::vector<campaign::ExperimentOutcome> AutonomousCampaignEngine::runWaveAt(
+    const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+    std::span<const unsigned> indices, unsigned rerun) {
+  if (tool_.engine() == sim::EngineKind::Compiled) {
+    return tool_.runCampaignWave(spec, pool, indices);
+  }
+  return CampaignEngine::runWaveAt(spec, pool, indices, rerun);
+}
+
+campaign::EngineFactory autonomousEngineFactory(const Netlist& netlist,
+                                                std::uint64_t runCycles,
+                                                AutonomousOptions options) {
+  return [&netlist, runCycles, options] {
+    return std::make_unique<AutonomousCampaignEngine>(netlist, runCycles,
+                                                      options);
+  };
+}
+
+}  // namespace fades::core

@@ -1,10 +1,12 @@
 #include "diffcheck/oracle.hpp"
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/autonomous.hpp"
 #include "core/fades.hpp"
 #include "diffcheck/gen.hpp"
 #include "fpga/device.hpp"
@@ -46,6 +48,14 @@ obs::Json CaseReport::toJson() const {
   vf.set("latents", obs::Json(static_cast<std::uint64_t>(vfitLatents)));
   vf.set("silents", obs::Json(static_cast<std::uint64_t>(vfitSilents)));
   j.set("vfit", vf);
+  obs::Json au = obs::Json::object();
+  au.set("ran", obs::Json(autonomousRan));
+  au.set("failures",
+         obs::Json(static_cast<std::uint64_t>(autonomousFailures)));
+  au.set("latents", obs::Json(static_cast<std::uint64_t>(autonomousLatents)));
+  au.set("silents", obs::Json(static_cast<std::uint64_t>(autonomousSilents)));
+  au.set("modeled_seconds", obs::Json(autonomousModeledSeconds));
+  j.set("autonomous", au);
   return j;
 }
 
@@ -145,6 +155,27 @@ CaseReport checkCase(const CaseSpec& c, const OracleOptions& opt) {
   vOpt.keepRecords = true;
   vOpt.engine = opt.vfitEngine;
   vfit::VfitTool vfit(nl, c.runCycles, vOpt);
+
+  // The autonomous backend verifies its own instrumentation at construction
+  // (the transparency check simulates the instrumented netlist with every
+  // control at 0 against the golden trace); a divergence surfaces as a
+  // ConfigError here and is exactly the golden.autonomous-agree rule.
+  std::unique_ptr<core::AutonomousTool> autonomous;
+  core::AutonomousOptions aOpt;
+  aOpt.observedOutputs = observedOutputs(c);
+  aOpt.keepRecords = true;
+  aOpt.engine = opt.autonomousEngine;
+  try {
+    autonomous = std::make_unique<core::AutonomousTool>(nl, c.runCycles, aOpt);
+  } catch (const common::FadesError& err) {
+    if (err.kind() != common::ErrorKind::ConfigError) throw;
+    fail("golden.autonomous-agree", err.what());
+  }
+  if (autonomous != nullptr &&
+      autonomous->golden().outputs != vfit.golden().outputs) {
+    fail("golden.autonomous-agree",
+         "autonomous backend golden trace differs from VFIT's");
+  }
 
   // --- golden agreement ----------------------------------------------------
   // Before any fault the emulated and the simulated model must produce the
@@ -316,6 +347,96 @@ CaseReport checkCase(const CaseSpec& c, const OracleOptions& opt) {
                  campaign::toString(fr.outcome) + " vs VFIT=" +
                  campaign::toString(vr.outcome) + " target " + fr.targetName +
                  " cycle " + std::to_string(fr.injectCycle) + tag);
+      }
+    }
+  }
+
+  // --- autonomous campaign: same fault semantics, its own meters -----------
+  // The backend shares VFIT's semantic engine, so every experiment - not
+  // just exact bit-flips - must reproduce VFIT's draw, target and
+  // classification; only the cost fields differ, and those must obey the
+  // autonomous cost model: exact config+workload+host sum, workload at the
+  // emulator clock, and zero configuration bytes moved.
+  if (autonomous != nullptr && autonomous->supports(c.inject.model)) {
+    campaign::CampaignSpec aSpec = c.inject;
+    if (exact && aligned.ok) aSpec.targetPool = aligned.vfit;
+    std::vector<std::uint32_t> aPool;
+    bool ran = true;
+    try {
+      aPool = autonomous->campaignPool(aSpec);
+    } catch (const common::FadesError& err) {
+      if (err.kind() != common::ErrorKind::InjectionError) throw;
+      ran = false;
+    }
+    if (ran) {
+      rep.autonomousRan = true;
+      std::vector<campaign::ExperimentOutcome> aOut;
+      aOut.reserve(c.inject.experiments);
+      for (unsigned e = 0; e < c.inject.experiments; ++e) {
+        aOut.push_back(autonomous->runCampaignExperiment(aSpec, aPool, e));
+      }
+      const double aWorkload =
+          static_cast<double>(c.runCycles) / aOpt.fpgaClockHz;
+      for (const auto& x : aOut) {
+        const auto tag = " (experiment " + std::to_string(x.index) + ")";
+        switch (x.outcome) {
+          case campaign::Outcome::Failure: ++rep.autonomousFailures; break;
+          case campaign::Outcome::Latent: ++rep.autonomousLatents; break;
+          case campaign::Outcome::Silent: ++rep.autonomousSilents; break;
+        }
+        rep.autonomousModeledSeconds += x.modeledSeconds;
+        if (x.modeledSeconds !=
+            x.configSeconds + x.workloadSeconds + x.hostSeconds) {
+          fail("cost.autonomous-decomposition",
+               "modeledSeconds " + num(x.modeledSeconds) + " != config " +
+                   num(x.configSeconds) + " + workload " +
+                   num(x.workloadSeconds) + " + host " + num(x.hostSeconds) +
+                   tag);
+        }
+        if (x.configSeconds <= 0 || x.workloadSeconds != aWorkload ||
+            x.hostSeconds != aOpt.hostPerInjectionSeconds) {
+          fail("cost.autonomous-decomposition",
+               "autonomous meters off the cost model: config " +
+                   num(x.configSeconds) + " workload " +
+                   num(x.workloadSeconds) + " host " + num(x.hostSeconds) +
+                   tag);
+        }
+        if (x.bytesToDevice != 0 || x.bytesFromDevice != 0 ||
+            x.sessions != 0) {
+          fail("cost.autonomous-decomposition",
+               "autonomous injection moved configuration bytes" + tag);
+        }
+      }
+      if (rep.vfitRan && vres.records.size() == aOut.size()) {
+        for (std::size_t e = 0; e < aOut.size(); ++e) {
+          if (!aOut[e].hasRecord) continue;
+          const auto& ar = aOut[e].record;
+          const auto& vr = vres.records[e];
+          const auto tag = " (experiment " + std::to_string(e) + ")";
+          if (ar.targetName != vr.targetName ||
+              ar.injectCycle != vr.injectCycle ||
+              ar.durationCycles != vr.durationCycles ||
+              ar.outcome != vr.outcome) {
+            fail("outcome.autonomous-agree",
+                 "autonomous target " + ar.targetName + " cycle " +
+                     std::to_string(ar.injectCycle) + " outcome " +
+                     campaign::toString(ar.outcome) + " vs VFIT target " +
+                     vr.targetName + " cycle " +
+                     std::to_string(vr.injectCycle) + " outcome " +
+                     campaign::toString(vr.outcome) + tag);
+          }
+        }
+      }
+      if (opt.checkDeterminism && !aOut.empty()) {
+        const auto again = autonomous->runCampaignExperiment(aSpec, aPool, 0);
+        if (!sameOutcome(aOut[0], again)) {
+          fail("run.deterministic",
+               "autonomous experiment 0 re-run diverged: outcome " +
+                   std::string(campaign::toString(aOut[0].outcome)) + "/" +
+                   num(aOut[0].modeledSeconds) + " then " +
+                   campaign::toString(again.outcome) + "/" +
+                   num(again.modeledSeconds));
+        }
       }
     }
   }

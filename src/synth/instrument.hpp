@@ -13,7 +13,27 @@
 //
 //     consumers(net)  <-  net XOR (sab_enable AND sel == index)
 //
-// plus two new input ports, `sab_enable` and `sab_select`.
+// plus two new input ports, `sab_enable` and `sab_select` (the select port
+// is omitted in the degenerate single-target case, where `sab_enable` alone
+// drives the lone saboteur).
+//
+// instrumentAutonomous() goes one step further, into the autonomous
+// emulation of Lopez-Ongil et al. ("Techniques for Fast Transient Fault
+// Grading Based on Autonomous Emulation"): injection support is compiled
+// into the design itself, so one injection moves zero configuration bytes.
+// Every flip-flop gains
+//   - an injection-mask register, loadable through a scan-style chain
+//     (`am_scan_in` / `am_shift`, observable on `am_scan_out`), and an XOR
+//     on its D input that fires while `am_inject` is high;
+//   - a shadow flip-flop that mirrors the main state while `am_capture` is
+//     high and freezes the golden state when it drops; asserting
+//     `am_restore` for ONE cycle copies the shadow back into the main
+//     flip-flops - the single-cycle faulty->golden restore that replaces
+//     the RTR technique's bitstream re-download.
+// Every writable memory block gains a shadow copy whose writes are gated by
+// `am_capture`, holding the golden contents the restore sweep replays.
+// With every control input at 0 the instrumented model is cycle-accurate
+// equivalent to the source model.
 #pragma once
 
 #include <cstdint>
@@ -27,16 +47,45 @@ struct InstrumentedModel {
   netlist::Netlist netlist;
   /// selector value (drive on `sab_select`) per instrumented target net.
   std::vector<std::pair<netlist::NetId, std::uint32_t>> selectors;
+  /// Width of `sab_select`; 0 for a single target (no select port at all).
   unsigned selectBits = 0;
   std::size_t saboteurGates = 0;  // instrumentation overhead, in gates
 };
 
 /// Build the instrumented model. `targets` are nets of the source netlist
-/// (they must not be input-port nets). Consumers of each target - gate
+/// (they must not be input-port nets, and each net may appear only once -
+/// a duplicate would chain two saboteurs onto one site and is rejected
+/// with a ConfigError naming the net). Consumers of each target - gate
 /// inputs, flop D pins, RAM pins, output ports - are rewired to the
 /// saboteur's output; the original driver is untouched.
 InstrumentedModel instrumentWithSaboteurs(
     const netlist::Netlist& source,
     const std::vector<netlist::NetId>& targets);
+
+/// The autonomous-emulation instrumented model, with its exact area
+/// overhead. Indices below refer to the SOURCE netlist (instrumentation is
+/// additive: source element ids stay valid in `netlist`).
+struct AutonomousModel {
+  netlist::Netlist netlist;
+  /// Mask scan-chain order: chain position p is the mask of source flop
+  /// `chain[p]`. To arm exactly that flop, shift `chainBits` bits through
+  /// `am_scan_in` with the 1 presented at step chainBits-1-p.
+  std::vector<netlist::FlopId> chain;
+  /// Scan-chain length == number of mask registers (one mask-load charge).
+  unsigned chainBits = 0;
+  // --- exact area overhead of the instrumentation -------------------------
+  std::size_t addedGates = 0;
+  std::size_t addedFlops = 0;     // mask + shadow flip-flops
+  std::size_t shadowRamBits = 0;  // golden-copy memory bits
+};
+
+/// Instrument `source` for autonomous emulation. `flops` selects which
+/// flip-flops receive an injection mask (empty = all of them); every
+/// flip-flop receives a shadow regardless, so restore is always complete.
+/// Duplicate entries in `flops` are rejected with a ConfigError naming the
+/// flip-flop (same validation as instrumentWithSaboteurs's target nets).
+AutonomousModel instrumentAutonomous(
+    const netlist::Netlist& source,
+    const std::vector<netlist::FlopId>& flops = {});
 
 }  // namespace fades::synth

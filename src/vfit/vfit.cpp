@@ -227,8 +227,8 @@ Outcome VfitTool::runExperiment(FaultModel model, TargetClass targets,
   captureFinalState(faulty);
 
   auto& registry = obs::Registry::global();
-  registry.counter("vfit.commands").add(commands);
-  registry.counter("vfit.experiments").inc();
+  registry.counter(opt_.metricsPrefix + ".commands").add(commands);
+  registry.counter(opt_.metricsPrefix + ".experiments").inc();
 
   if (modeledSeconds != nullptr) {
     *modeledSeconds = opt_.secondsFixedPerExperiment + goldenSeconds_ +
@@ -530,8 +530,8 @@ std::vector<campaign::ExperimentOutcome> VfitTool::runCampaignWave(
     }
     faulty.outputs = std::move(outputs[i - 1]);
     const Outcome o = campaign::classify(golden_, faulty);
-    registry.counter("vfit.commands").add(plans[i - 1].commands);
-    registry.counter("vfit.experiments").inc();
+    registry.counter(opt_.metricsPrefix + ".commands").add(plans[i - 1].commands);
+    registry.counter(opt_.metricsPrefix + ".experiments").inc();
     out.push_back(makeOutcome(spec, plans[i - 1], o));
   }
   return out;
@@ -540,7 +540,7 @@ std::vector<campaign::ExperimentOutcome> VfitTool::runCampaignWave(
 CampaignResult VfitTool::runCampaign(const CampaignSpec& spec) {
   const std::vector<std::uint32_t> targets = campaignPool(spec);
 
-  obs::Span campaignSpan{"vfit.campaign",
+  obs::Span campaignSpan{opt_.metricsPrefix + ".campaign",
                          {{"model", campaign::toString(spec.model)},
                           {"targets", campaign::toString(spec.targets)},
                           {"engine", sim::toString(opt_.engine)}}};

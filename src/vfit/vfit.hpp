@@ -66,6 +66,11 @@ struct VfitOptions {
   /// from the event-driven engine, and the CompiledEquivalence suite pins
   /// the fault semantics to it.
   sim::EngineKind engine = sim::EngineKind::EventDriven;
+  /// Prefix for the obs counters this tool bumps ("<prefix>.commands",
+  /// "<prefix>.experiments") and its campaign span. The autonomous backend
+  /// reuses VfitTool as its semantic engine under its own prefix, so the two
+  /// injectors stay separable in the metrics snapshot.
+  std::string metricsPrefix = "vfit";
 };
 
 class VfitTool {
@@ -125,11 +130,11 @@ class VfitTool {
   const Observation& golden() const { return golden_; }
   double goldenModelSeconds() const { return goldenSeconds_; }
 
- private:
   /// Pre-drawn fault script of one experiment: every random draw of the
   /// serial loop + runExperiment, in the identical order, so the wave path
   /// consumes the per-experiment RNG stream exactly as the event-driven
-  /// path does.
+  /// path does. Public because the autonomous backend re-meters the same
+  /// plan (command count, window) under its own cost model.
   struct LanePlan {
     unsigned index = 0;
     std::uint32_t target = 0;
@@ -142,6 +147,8 @@ class VfitTool {
   LanePlan planExperiment(const CampaignSpec& spec,
                           std::span<const std::uint32_t> pool,
                           unsigned index) const;
+
+ private:
   Unit targetUnit(const CampaignSpec& spec, std::uint32_t target) const;
   campaign::ExperimentOutcome makeOutcome(const CampaignSpec& spec,
                                           const LanePlan& plan,

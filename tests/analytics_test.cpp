@@ -279,6 +279,49 @@ TEST(Analytics, RejectsForeignFiles) {
   EXPECT_THROW(analytics::loadInputs({missing.str}), common::FadesError);
 }
 
+TEST(Analytics, ZeroExperimentArtifactsFoldToZeroBasisPoints) {
+  // A campaign that kept no records (or was killed right after the header)
+  // must aggregate to a clean all-zero report, not a division by zero.
+  TempPath emptyRun("analytics_empty_run.json");
+  writeWholeFile(emptyRun.str,
+                 "{\"schema\": \"fades.run/1\", \"name\": \"empty\", "
+                 "\"records\": []}\n");
+  TempPath headerJsonl("analytics_header_only.jsonl");
+  writeWholeFile(headerJsonl.str,
+                 "{\"schema\": \"fades.run/1\", \"name\": \"empty\"}\n");
+  TempPath headerJournal("analytics_header_only.journal");
+  writeWholeFile(headerJournal.str,
+                 "{\"schema\": \"fades.journal/1\", \"spec\": {}}\n");
+
+  const auto inputs = analytics::loadInputs(
+      {emptyRun.str, headerJsonl.str, headerJournal.str});
+  ASSERT_EQ(inputs.size(), 3u);
+  for (const auto& in : inputs) EXPECT_TRUE(in.records.empty()) << in.path;
+
+  const auto report = analytics::buildReport(inputs);
+  EXPECT_EQ(report.totals.experiments, 0u);
+  EXPECT_EQ(report.totals.failureBp, 0u);
+  EXPECT_EQ(report.totals.latentBp, 0u);
+  EXPECT_EQ(report.totals.silentBp, 0u);
+  EXPECT_TRUE(report.components.empty());
+  // Renderers must survive the empty report too.
+  EXPECT_NE(analytics::toMarkdown(report).find("experiments"),
+            std::string::npos);
+  EXPECT_FALSE(analytics::toCsv(report).empty());
+}
+
+TEST(Analytics, EmptyJournalFileIsRejectedNotFoldedAsZero) {
+  // No header at all means the file is not a journal; folding it silently
+  // as zero experiments would hide the broken input.
+  TempPath empty("analytics_empty.journal");
+  writeWholeFile(empty.str, "");
+  EXPECT_THROW(analytics::loadJournal(empty.str), common::FadesError);
+  // A torn header (no newline yet) is equally not loadable.
+  TempPath torn("analytics_torn.journal");
+  writeWholeFile(torn.str, "{\"schema\": \"fades.jou");
+  EXPECT_THROW(analytics::loadJournal(torn.str), common::FadesError);
+}
+
 // ------------------------------------------------------------- determinism --
 
 TEST(Analytics, ReportIsByteIdenticalAcrossJobCounts) {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
 
+#include "common/error.hpp"
 #include "core/fades.hpp"
 #include "fpga/bitstream_io.hpp"
 #include "rtl/builder.hpp"
@@ -90,14 +92,54 @@ TEST(Instrument, CountsOverheadAndRejectsBadTargets) {
   Netlist model = smallAluModel();
   const auto inst = synth::instrumentWithSaboteurs(
       model, {*model.findNet("sum_net[1]")});
-  EXPECT_GT(inst.saboteurGates, 0u);
-  EXPECT_EQ(inst.selectBits, 1u);
+  // Degenerate single-target case: `sab_enable` alone drives the lone
+  // saboteur - no select port, no match tree, exactly one XOR of overhead.
+  EXPECT_EQ(inst.selectBits, 0u);
+  EXPECT_EQ(inst.saboteurGates, 1u);
+  EXPECT_EQ(inst.netlist.findInput("sab_select"), nullptr);
 
   Netlist model2 = smallAluModel();
   // Input-port nets cannot host a saboteur.
   EXPECT_THROW(synth::instrumentWithSaboteurs(
                    model2, {model2.inputs()[0].nets[0]}),
                FadesError);
+}
+
+TEST(Instrument, SingleTargetSaboteurDrivenByEnableAlone) {
+  Netlist model = smallAluModel();
+  const auto inst = synth::instrumentWithSaboteurs(
+      model, {*model.findNet("sum_net[1]")});
+
+  Simulator ref(model), sab(inst.netlist);
+  sab.setInput("sab_enable", 1);
+  for (unsigned a = 0; a < 16; a += 3) {
+    for (unsigned c = 0; c < 16; c += 5) {
+      ref.setInput("a", a);
+      ref.setInput("c", c);
+      sab.setInput("a", a);
+      sab.setInput("c", c);
+      ref.settle();
+      sab.settle();
+      ASSERT_EQ(sab.portValue("sum"), ref.portValue("sum") ^ 2u)
+          << a << "," << c;
+    }
+  }
+}
+
+TEST(Instrument, RejectsDuplicateTargetNets) {
+  // A duplicate target would chain two saboteurs onto one site, so one
+  // selector value no longer maps to one injection site.
+  Netlist model = smallAluModel();
+  const auto dup = *model.findNet("sum_net[0]");
+  try {
+    synth::instrumentWithSaboteurs(model,
+                                   {dup, *model.findNet("sum_net[2]"), dup});
+    FAIL() << "duplicate saboteur target accepted";
+  } catch (const FadesError& e) {
+    EXPECT_EQ(e.kind(), common::ErrorKind::ConfigError);
+    EXPECT_NE(std::string(e.what()).find("sum_net[0]"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Instrument, InstrumentedModelStillSynthesizes) {
@@ -107,6 +149,128 @@ TEST(Instrument, InstrumentedModelStillSynthesizes) {
   const auto impl =
       synth::implement(inst.netlist, fpga::DeviceSpec::small());
   EXPECT_GT(impl.stats.luts, 0u);
+}
+
+// ------------------------------------------- autonomous instrumentation -----
+
+Netlist smallCounterModel() {
+  Builder b;
+  auto count = b.makeRegister("count", 4, 0);
+  b.connect(count, b.increment(count.q));
+  b.output("count", count.q);
+  return b.finish();
+}
+
+TEST(Instrument, AutonomousControlsAtZeroAreTransparent) {
+  Netlist model = smallCounterModel();
+  const auto am = synth::instrumentAutonomous(model);
+  EXPECT_EQ(am.chainBits, 4u);
+
+  Simulator ref(model), inst(am.netlist);
+  ref.reset();
+  inst.reset();
+  for (unsigned c = 0; c < 40; ++c) {
+    ASSERT_EQ(ref.portValue("count"), inst.portValue("count")) << c;
+    ref.step();
+    inst.step();
+  }
+}
+
+TEST(Instrument, AutonomousInjectFlipsExactlyTheMaskedFlop) {
+  Netlist model = smallCounterModel();
+  const auto am = synth::instrumentAutonomous(model);
+  const unsigned p = 2;  // arm chain position 2
+
+  Simulator ref(model), inst(am.netlist);
+  ref.reset();
+  inst.reset();
+  // Scan the one-hot mask in; the design keeps running meanwhile and must
+  // stay in lockstep with the reference (mask loading is non-intrusive).
+  for (unsigned s = 0; s < am.chainBits; ++s) {
+    inst.setInput("am_scan_in", s == am.chainBits - 1 - p ? 1 : 0);
+    inst.setInput("am_shift", 1);
+    inst.step();
+    ref.step();
+  }
+  inst.setInput("am_shift", 0);
+  inst.setInput("am_scan_in", 0);
+  for (std::uint32_t f = 0; f < model.flopCount(); ++f) {
+    ASSERT_EQ(inst.flopState(netlist::FlopId{f}),
+              ref.flopState(netlist::FlopId{f}))
+        << "lockstep broken during mask load, flop " << f;
+  }
+
+  // One cycle of am_inject XORs exactly the armed flip-flop's next state.
+  inst.setInput("am_inject", 1);
+  inst.step();
+  ref.step();
+  inst.setInput("am_inject", 0);
+  for (std::uint32_t f = 0; f < model.flopCount(); ++f) {
+    const bool want = f == am.chain[p].value
+                          ? !ref.flopState(netlist::FlopId{f})
+                          : ref.flopState(netlist::FlopId{f});
+    EXPECT_EQ(inst.flopState(netlist::FlopId{f}), want) << "flop " << f;
+  }
+}
+
+TEST(Instrument, AutonomousCaptureAndRestoreReturnToGolden) {
+  Netlist model = smallCounterModel();
+  const auto am = synth::instrumentAutonomous(model);
+
+  Simulator ref(model), inst(am.netlist);
+  ref.reset();
+  inst.reset();
+  // Mirror the golden run into the shadows, then freeze them at cycle 7.
+  inst.setInput("am_capture", 1);
+  for (unsigned c = 0; c < 7; ++c) {
+    inst.step();
+    ref.step();
+  }
+  inst.setInput("am_capture", 0);
+  const auto goldenCount = ref.portValue("count");
+
+  // Let the main design run ahead; the frozen shadows keep the golden state.
+  for (unsigned c = 0; c < 3; ++c) inst.step();
+  EXPECT_NE(inst.portValue("count"), goldenCount);
+
+  // A single restore cycle copies the shadows back into every main flop.
+  inst.setInput("am_restore", 1);
+  inst.step();
+  inst.setInput("am_restore", 0);
+  EXPECT_EQ(inst.portValue("count"), goldenCount);
+  for (std::uint32_t f = 0; f < model.flopCount(); ++f) {
+    EXPECT_EQ(inst.flopState(netlist::FlopId{f}),
+              ref.flopState(netlist::FlopId{f}))
+        << "flop " << f;
+  }
+}
+
+TEST(Instrument, AutonomousCountsExactOverhead) {
+  Netlist model = smallCounterModel();
+  const auto am = synth::instrumentAutonomous(model);
+  const std::size_t flops = model.flopCount();
+  // Per masked flop: scan mux + arm AND + inject XOR + restore mux + shadow
+  // mux = 5 gates; mask + shadow = 2 flip-flops. No memory, no shadow bits.
+  EXPECT_EQ(am.addedGates, 5 * flops);
+  EXPECT_EQ(am.addedFlops, 2 * flops);
+  EXPECT_EQ(am.shadowRamBits, 0u);
+  EXPECT_EQ(am.chain.size(), flops);
+}
+
+TEST(Instrument, AutonomousRejectsDuplicateAndBadMaskTargets) {
+  Netlist model = smallCounterModel();
+  try {
+    synth::instrumentAutonomous(
+        model, {netlist::FlopId{0}, netlist::FlopId{1}, netlist::FlopId{0}});
+    FAIL() << "duplicate mask target accepted";
+  } catch (const FadesError& e) {
+    EXPECT_EQ(e.kind(), common::ErrorKind::ConfigError);
+    EXPECT_NE(std::string(e.what()).find("count[0]"), std::string::npos)
+        << e.what();
+  }
+  Netlist model2 = smallCounterModel();
+  EXPECT_THROW(synth::instrumentAutonomous(model2, {netlist::FlopId{99}}),
+               FadesError);
 }
 
 // --------------------------------------------------------- bitstream io -----
