@@ -62,15 +62,9 @@
 #include "campaign/journal.hpp"
 #include "campaign/parallel.hpp"
 #include "campaign/types.hpp"
-#include "core/autonomous.hpp"
-#include "core/fades.hpp"
-#include "fpga/device.hpp"
-#include "mc8051/core.hpp"
-#include "mc8051/iss.hpp"
-#include "mc8051/workloads.hpp"
+#include "netlist/netlist.hpp"
+#include "service/jobspec.hpp"
 #include "sim/engine.hpp"
-#include "synth/implement.hpp"
-#include "vfit/vfit.hpp"
 
 using namespace fades;
 
@@ -209,63 +203,53 @@ int main(int argc, char** argv) {
   const std::string bandArg = arg(4, "short");
   const std::string artifactPath = arg(5, "");
 
-  campaign::CampaignSpec spec;
-  spec.experiments = faults;
-  spec.seed = 2006;
-  spec.model = modelArg == "pulse"   ? campaign::FaultModel::Pulse
+  // The job spec is the same structure the distributed service ships to
+  // workers, and the system is built through the same service::buildSystem -
+  // so "coordinator + workers" and "this CLI at --jobs 1" produce artifacts
+  // that are byte-identical by construction, not by parallel maintenance of
+  // two setups.
+  service::JobSpec job;
+  job.tool = toolArg;
+  job.engine = engineArg.empty() ? "event" : engineArg;
+  job.workload = "bubblesort6";
+  job.linkFaultRate = linkFaultRate;
+  // Console detail only for small campaigns, but an artifact request keeps
+  // the per-experiment records regardless so the JSON carries every row.
+  job.keepRecords = faults <= 40 || !artifactPath.empty();
+  job.name = modelArg + "_" + targetArg + "_" + unitArg;
+  job.spec.experiments = faults;
+  job.spec.seed = 2006;
+  job.spec.model = modelArg == "pulse"   ? campaign::FaultModel::Pulse
                : modelArg == "delay" ? campaign::FaultModel::Delay
                : modelArg == "indet" ? campaign::FaultModel::Indetermination
                                      : campaign::FaultModel::BitFlip;
-  spec.targets = targetArg == "memory"     ? campaign::TargetClass::MemoryBlockBit
+  job.spec.targets = targetArg == "memory"     ? campaign::TargetClass::MemoryBlockBit
                  : targetArg == "lut"      ? campaign::TargetClass::CombinationalLut
                  : targetArg == "seqline"  ? campaign::TargetClass::SequentialLine
                  : targetArg == "combline" ? campaign::TargetClass::CombinationalLine
                                            : campaign::TargetClass::SequentialFF;
-  spec.unit = static_cast<int>(unitArg == "registers" ? netlist::Unit::Registers
+  job.spec.unit = static_cast<int>(unitArg == "registers" ? netlist::Unit::Registers
                                : unitArg == "ram"      ? netlist::Unit::Ram
                                : unitArg == "alu"      ? netlist::Unit::Alu
                                : unitArg == "mem"      ? netlist::Unit::MemCtrl
                                : unitArg == "fsm"      ? netlist::Unit::Fsm
                                                        : netlist::Unit::None);
-  spec.band = bandArg == "sub"    ? campaign::DurationBand::subCycle()
+  job.spec.band = bandArg == "sub"    ? campaign::DurationBand::subCycle()
               : bandArg == "long" ? campaign::DurationBand::longBand()
                                   : campaign::DurationBand::shortBand();
+  const campaign::CampaignSpec& spec = job.spec;
 
   std::printf("Building the MC8051 + Bubblesort system...\n");
-  const auto workload = mc8051::bubblesort(6);
-  const auto netlist = mc8051::buildCore(workload.bytes);
-  const auto impl =
-      synth::implement(netlist, fpga::DeviceSpec::virtex1000Like());
-  core::FadesOptions options;
-  // Console detail only for small campaigns, but an artifact request keeps
-  // the per-experiment records regardless so the JSON carries every row.
-  options.keepRecords = faults <= 40 || !artifactPath.empty();
-  options.sessionFrameCache = frameCache;
-  if (options.keepRecords) {
-    // Golden-run PC attribution: one ISS pass over the workload gives the
-    // instruction in flight at every cycle; records then carry the PC and
-    // opcode under each injection instant. Shared across device replicas.
-    mc8051::Iss iss(workload.bytes);
-    const auto samples = iss.tracePcPerCycle(workload.cycles);
-    auto trace = std::make_shared<campaign::InstructionTrace>();
-    trace->reserve(samples.size());
-    for (const auto& s : samples) {
-      trace->push_back(campaign::InstructionSample{s.pc, s.opcode});
-    }
-    options.instructionTrace = std::move(trace);
-  }
-  if (linkFaultRate > 0.0) {
-    options.linkFaults.readCrcRate = linkFaultRate;
-    options.linkFaults.writeFailRate = linkFaultRate;
-    options.linkFaults.timeoutRate = linkFaultRate / 10.0;
-  }
+  service::BuildKnobs knobs;
+  knobs.sessionFrameCache = frameCache;
+  const auto system = service::buildSystem(job, knobs);
 
   // Both jobs paths run every experiment through the same stateless
   // per-index derivation, so the runner yields bit-identical results for
   // any worker count - only the wall-clock changes.
   campaign::ParallelOptions popt;
   popt.jobs = jobs;
-  popt.progressInterval = options.progressInterval;
+  popt.progressInterval = 100;
   std::unique_ptr<campaign::CampaignJournal> journal;
   if (!checkpointPath.empty()) {
     journal = std::make_unique<campaign::CampaignJournal>(
@@ -274,21 +258,7 @@ int main(int argc, char** argv) {
     popt.journal = journal.get();
     popt.resume = resume;
   }
-  campaign::EngineFactory factory;
-  if (toolArg == "vfit") {
-    vfit::VfitOptions vopt;
-    vopt.keepRecords = options.keepRecords;
-    vopt.engine = engineKind;
-    factory = vfit::vfitEngineFactory(netlist, workload.cycles, vopt);
-  } else if (toolArg == "autonomous") {
-    core::AutonomousOptions aopt;
-    aopt.keepRecords = options.keepRecords;
-    aopt.engine = engineKind;
-    factory = core::autonomousEngineFactory(netlist, workload.cycles, aopt);
-  } else {
-    factory = core::fadesEngineFactory(impl, workload.cycles, options);
-  }
-  campaign::ParallelCampaignRunner runner(std::move(factory), popt);
+  campaign::ParallelCampaignRunner runner(system->factory, popt);
 
   std::printf("Running %u %s faults on %s",
               spec.experiments, campaign::toString(spec.model),

@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <cstdio>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -47,19 +49,9 @@ bool readString(const Json& j, const char* key, std::string& out) {
   return true;
 }
 
-std::string readAll(std::FILE* f) {
-  std::string content;
-  char buf[1 << 16];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof buf, f)) != 0) {
-    content.append(buf, n);
-  }
-  return content;
-}
-
 }  // namespace
 
-std::string CampaignJournal::outcomeLine(const ExperimentOutcome& x) {
+Json CampaignJournal::outcomeJson(const ExperimentOutcome& x) {
   // Doubles survive the trip exactly: obs::Json prints them with enough
   // digits to round-trip through strtod bit-for-bit, which is what lets a
   // resumed campaign fold journaled outcomes into sums identical to the
@@ -82,14 +74,15 @@ std::string CampaignJournal::outcomeLine(const ExperimentOutcome& x) {
     j.set("sessions", Json(x.sessions));
     if (x.hasRecord) j.set("record", toJson(x.record));
   }
-  return j.dump() + "\n";
+  return j;
 }
 
-bool CampaignJournal::parseOutcomeLine(const std::string& line,
-                                       ExperimentOutcome& out) {
-  const auto parsed = Json::parse(line);
-  if (!parsed || !parsed->isObject()) return false;
-  const Json& j = *parsed;
+std::string CampaignJournal::outcomeLine(const ExperimentOutcome& x) {
+  return outcomeJson(x).dump() + "\n";
+}
+
+bool CampaignJournal::outcomeFromJson(const Json& j, ExperimentOutcome& out) {
+  if (!j.isObject()) return false;
   out = ExperimentOutcome{};
   std::uint64_t attempts = 0;
   if (!readU64(j, "index", out.index) || !readU64(j, "attempts", attempts)) {
@@ -125,6 +118,13 @@ bool CampaignJournal::parseOutcomeLine(const std::string& line,
   return true;
 }
 
+bool CampaignJournal::parseOutcomeLine(const std::string& line,
+                                       ExperimentOutcome& out) {
+  const auto parsed = Json::parse(line);
+  if (!parsed) return false;
+  return outcomeFromJson(*parsed, out);
+}
+
 void CampaignJournal::open(const CampaignSpec& spec, bool resume) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ != nullptr) {
@@ -139,37 +139,77 @@ void CampaignJournal::open(const CampaignSpec& spec, bool resume) {
   std::size_t committedEnd = 0;
   bool haveHeader = false;
   if (resume) {
-    if (std::FILE* in = std::fopen(path_.c_str(), "rb")) {
-      const std::string content = readAll(in);
-      std::fclose(in);
-      std::size_t pos = 0;
-      while (pos < content.size()) {
-        const std::size_t nl = content.find('\n', pos);
-        if (nl == std::string::npos) break;  // torn tail, ignore
-        const std::string line = content.substr(pos, nl - pos);
-        if (!haveHeader) {
-          const auto header = Json::parse(line);
-          std::string schema;
-          require(header && header->isObject() &&
-                      readString(*header, "schema", schema) &&
-                      schema == kSchema,
-                  ErrorKind::ConfigError,
-                  "journal " + path_ + " has no valid fades.journal/1 header");
-          const Json* fileSpec = header->find("spec");
-          require(fileSpec != nullptr &&
-                      fileSpec->dump() == toJson(spec).dump(),
-                  ErrorKind::ConfigError,
-                  "journal " + path_ +
-                      " was written for a different campaign spec");
-          haveHeader = true;
-        } else {
-          ExperimentOutcome outcome;
-          if (!parseOutcomeLine(line, outcome)) break;  // stop at corruption
-          completed_[outcome.index] = std::move(outcome);
+    // Stream the file line by line with a bounded buffer instead of
+    // slurping it whole: a corrupt or adversarial journal whose "line"
+    // never ends fails fast with a ConfigError naming the byte offset of
+    // the offending line, instead of growing the buffer without bound.
+    struct FileCloser {
+      void operator()(std::FILE* f) const { std::fclose(f); }
+    };
+    std::unique_ptr<std::FILE, FileCloser> in(
+        std::fopen(path_.c_str(), "rb"));
+    if (in != nullptr) {
+      std::string buffer;
+      char chunk[1 << 16];
+      std::size_t consumed = 0;  // bytes already dropped from buffer's front
+      bool stop = false;
+      while (!stop) {
+        const std::size_t n = std::fread(chunk, 1, sizeof chunk, in.get());
+        if (n == 0) break;
+        buffer.append(chunk, n);
+        std::size_t pos = 0;
+        while (!stop) {
+          const std::size_t nl = buffer.find('\n', pos);
+          if (nl == std::string::npos) break;
+          std::string line = buffer.substr(pos, nl - pos);
+          // CRLF-tolerant: a journal that crossed a Windows filesystem or a
+          // text-mode transfer still resumes ('\r' is not part of the
+          // record; committedEnd keeps counting the bytes as written).
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          require(line.size() <= kMaxLineBytes, ErrorKind::ConfigError,
+                  "journal " + path_ + ": line exceeding " +
+                      std::to_string(kMaxLineBytes) +
+                      " bytes at byte offset " +
+                      std::to_string(consumed + pos));
+          if (!haveHeader) {
+            const auto header = Json::parse(line);
+            std::string schema;
+            require(header && header->isObject() &&
+                        readString(*header, "schema", schema) &&
+                        schema == kSchema,
+                    ErrorKind::ConfigError,
+                    "journal " + path_ +
+                        " has no valid fades.journal/1 header");
+            const Json* fileSpec = header->find("spec");
+            require(fileSpec != nullptr &&
+                        fileSpec->dump() == toJson(spec).dump(),
+                    ErrorKind::ConfigError,
+                    "journal " + path_ +
+                        " was written for a different campaign spec");
+            haveHeader = true;
+          } else {
+            ExperimentOutcome outcome;
+            if (!parseOutcomeLine(line, outcome)) {
+              stop = true;  // stop at corruption
+              break;
+            }
+            completed_[outcome.index] = std::move(outcome);
+          }
+          committedEnd = consumed + nl + 1;
+          pos = nl + 1;
         }
-        committedEnd = nl + 1;
-        pos = nl + 1;
+        buffer.erase(0, pos);
+        consumed += pos;
+        // An unterminated line past the bound is rejected before reading
+        // further - same offset diagnostics as the terminated case.
+        require(stop || buffer.size() <= kMaxLineBytes,
+                ErrorKind::ConfigError,
+                "journal " + path_ + ": line exceeding " +
+                    std::to_string(kMaxLineBytes) + " bytes at byte offset " +
+                    std::to_string(consumed));
       }
+      // Anything left in `buffer` is a torn tail from a killed writer;
+      // truncation below drops it.
     }
   }
 
@@ -214,6 +254,41 @@ void CampaignJournal::append(const ExperimentOutcome& outcome) {
   }
   std::fflush(file_);
   if (fsync_ == FsyncPolicy::EachRecord) fsync(fileno(file_));
+}
+
+void CampaignJournal::rewrite(
+    const CampaignSpec& spec,
+    const std::map<std::uint64_t, ExperimentOutcome>& outcomes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  // Tmp + rename: a crash at any instant leaves either the previous journal
+  // or the complete rewritten one on disk, never a mix of the two.
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  require(out != nullptr, ErrorKind::ConfigError,
+          "cannot create journal rewrite file " + tmp);
+  std::string text = headerJson(spec).dump() + "\n";
+  for (const auto& [index, outcome] : outcomes) {
+    (void)index;
+    text += outcomeLine(outcome);
+  }
+  bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size();
+  ok = std::fflush(out) == 0 && ok;
+  if (fsync_ == FsyncPolicy::EachRecord) fsync(fileno(out));
+  ok = std::fclose(out) == 0 && ok;
+  if (!ok || std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    common::raise(ErrorKind::ConfigError,
+                  "cannot rewrite journal " + path_);
+  }
+  completed_.clear();
+  for (const auto& [index, outcome] : outcomes) completed_[index] = outcome;
+  file_ = std::fopen(path_.c_str(), "ab");
+  require(file_ != nullptr, ErrorKind::ConfigError,
+          "cannot reopen journal " + path_ + " for append");
 }
 
 void CampaignJournal::close() {

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "campaign/types.hpp"
+#include "obs/json.hpp"
 
 namespace fades::campaign {
 
@@ -60,10 +61,28 @@ class CampaignJournal {
 
   void close();
 
-  // Serialization used by the journal lines; exposed for tests.
+  /// Atomically replace the journal's committed contents (tmp + rename)
+  /// with `spec`'s header plus `outcomes` in index order, then reopen for
+  /// append. Used when previously committed lines turn out to be wrong -
+  /// e.g. a byzantine worker's results being expunged after detection - so
+  /// a crash at any instant leaves either the old or the new journal, never
+  /// a mix.
+  void rewrite(const CampaignSpec& spec,
+               const std::map<std::uint64_t, ExperimentOutcome>& outcomes);
+
+  // Serialization used by the journal lines; exposed for tests and reused
+  // verbatim by the fades.wire/1 service protocol so outcomes survive the
+  // coordinator<->worker trip bit-exactly, like they survive checkpointing.
+  static obs::Json outcomeJson(const ExperimentOutcome& outcome);
+  static bool outcomeFromJson(const obs::Json& j, ExperimentOutcome& out);
   static std::string outcomeLine(const ExperimentOutcome& outcome);
   static bool parseOutcomeLine(const std::string& line,
                                ExperimentOutcome& out);
+
+  /// Longest line open() accepts before rejecting the file as corrupt or
+  /// adversarial (a record line is a few hundred bytes; anything near this
+  /// bound is not a journal).
+  static constexpr std::size_t kMaxLineBytes = 1u << 20;
 
  private:
   std::string path_;

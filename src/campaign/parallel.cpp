@@ -29,8 +29,8 @@ unsigned resolveJobs(unsigned requested) {
 // ProgressTracker
 // ---------------------------------------------------------------------------
 
-ProgressTracker::ProgressTracker(std::string model, unsigned total,
-                                 unsigned interval)
+ProgressTracker::ProgressTracker(std::string model, std::uint64_t total,
+                                 std::uint64_t interval)
     : model_(std::move(model)),
       total_(total),
       interval_(interval),
@@ -54,19 +54,36 @@ void ProgressTracker::record(const ExperimentOutcome& outcome) {
     modeledSum_ += outcome.modeledSeconds;
   }
   if (done_ % interval_ != 0 && done_ != total_) return;
-  gauge_.set(100.0 * done_ / total_);
+  emitLocked();
+}
+
+void ProgressTracker::heartbeat() {
+  std::lock_guard<std::mutex> lock(mu_);
+  emitLocked();
+}
+
+void ProgressTracker::emitLocked() {
+  gauge_.set(total_ == 0 ? 100.0 : 100.0 * done_ / total_);
   // ETA from observed rates: wall-clock extrapolates elapsed time per
   // completed experiment, modeled extrapolates the accumulated per-fault
   // board seconds (quarantined experiments carry no modeled cost, so they
-  // feed the wall rate only).
-  const unsigned remaining = total_ > done_ ? total_ - done_ : 0;
+  // feed the wall rate only). With no completions - a heartbeat firing
+  // before the first experiment lands - there is no rate to extrapolate,
+  // and the fields carry a literal null instead of a division by zero.
+  const std::uint64_t remaining = total_ > done_ ? total_ - done_ : 0;
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
-  const double etaWall = elapsed / done_ * remaining;
-  const std::size_t tallied = failures_ + latents_ + silents_;
+  const bool haveWallRate = done_ != 0 && elapsed > 0.0;
+  const double etaWall =
+      haveWallRate ? elapsed / static_cast<double>(done_) *
+                         static_cast<double>(remaining)
+                   : 0.0;
+  const std::uint64_t tallied = failures_ + latents_ + silents_;
   const double etaModeled =
-      tallied == 0 ? 0.0 : modeledSum_ / tallied * remaining;
+      tallied == 0 ? 0.0
+                   : modeledSum_ / static_cast<double>(tallied) *
+                         static_cast<double>(remaining);
   FADES_LOG(Info) << "campaign progress" << obs::kv("model", model_)
                   << obs::kv("done", done_) << obs::kv("total", total_)
                   << obs::kv("failures", failures_)
@@ -74,8 +91,44 @@ void ProgressTracker::record(const ExperimentOutcome& outcome) {
                   << obs::kv("silents", silents_)
                   << obs::kv("quarantined", quarantined_)
                   << obs::kv("modeled_s", modeledSum_)
-                  << obs::kv("eta_wall_s", etaWall)
-                  << obs::kv("eta_modeled_s", etaModeled);
+                  << (haveWallRate ? obs::kv("eta_wall_s", etaWall)
+                                   : obs::kv("eta_wall_s", "null"))
+                  << (tallied != 0 ? obs::kv("eta_modeled_s", etaModeled)
+                                   : obs::kv("eta_modeled_s", "null"));
+}
+
+// ---------------------------------------------------------------------------
+// runExperimentWithRetry
+// ---------------------------------------------------------------------------
+
+ExperimentOutcome runExperimentWithRetry(CampaignEngine& engine,
+                                         const CampaignSpec& spec,
+                                         std::span<const std::uint32_t> pool,
+                                         unsigned index, unsigned attempts,
+                                         obs::Counter& quarantineCounter) {
+  const unsigned budget = std::max(1u, attempts);
+  for (unsigned rerun = 0;; ++rerun) {
+    try {
+      ExperimentOutcome outcome =
+          engine.runExperimentAt(spec, pool, index, rerun);
+      outcome.index = index;
+      outcome.attempts = rerun + 1;
+      return outcome;
+    } catch (const common::FadesError& err) {
+      if (!common::isTransientError(err.kind())) throw;
+      engine.recover();
+      if (rerun + 1 >= budget) {
+        ExperimentOutcome outcome;
+        outcome.index = index;
+        outcome.quarantined = true;
+        outcome.failureKind = err.kind();
+        outcome.failureMessage = err.what();
+        outcome.attempts = rerun + 1;
+        quarantineCounter.inc();
+        return outcome;
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -221,28 +274,8 @@ CampaignResult ParallelCampaignRunner::run(const CampaignSpec& spec) {
         // this one experiment. Fatal errors still abort the campaign.
         for (const unsigned e : pending) {
           if (abort.load(std::memory_order_relaxed)) break;
-          ExperimentOutcome outcome;
-          for (unsigned rerun = 0;; ++rerun) {
-            try {
-              outcome = engines_[w]->runExperimentAt(spec, pool, e, rerun);
-              outcome.index = e;
-              outcome.attempts = rerun + 1;
-              break;
-            } catch (const common::FadesError& err) {
-              if (!common::isTransientError(err.kind())) throw;
-              engines_[w]->recover();
-              if (rerun + 1 >= attempts) {
-                outcome = ExperimentOutcome{};
-                outcome.index = e;
-                outcome.quarantined = true;
-                outcome.failureKind = err.kind();
-                outcome.failureMessage = err.what();
-                outcome.attempts = rerun + 1;
-                cQuarantined.inc();
-                break;
-              }
-            }
-          }
+          const ExperimentOutcome outcome = runExperimentWithRetry(
+              *engines_[w], spec, pool, e, attempts, cQuarantined);
           outcomes[e] = outcome;
           if (opt_.journal != nullptr) opt_.journal->append(outcome);
           progress.record(outcome);

@@ -91,6 +91,20 @@ class CampaignEngine {
 /// (replicas share only immutable inputs such as the implementation).
 using EngineFactory = std::function<std::unique_ptr<CampaignEngine>()>;
 
+/// The canonical experiment-level fault-tolerance discipline: run experiment
+/// `index`, rerunning on transient errors (LinkError / InjectionError) with
+/// engine.recover() between attempts and a fresh `rerun` stream each time;
+/// exhausting `attempts` yields a quarantined outcome instead of throwing.
+/// Fatal error kinds (and non-FadesError exceptions) propagate. Shared by
+/// ParallelCampaignRunner's worker loop and the distributed worker daemon,
+/// so an experiment produces the same outcome - including its quarantine
+/// decision - no matter which execution plane ran it.
+ExperimentOutcome runExperimentWithRetry(CampaignEngine& engine,
+                                         const CampaignSpec& spec,
+                                         std::span<const std::uint32_t> pool,
+                                         unsigned index, unsigned attempts,
+                                         obs::Counter& quarantineCounter);
+
 /// Campaign-level progress heartbeat: one `campaign.progress_pct` gauge and
 /// one structured log line per interval for the whole campaign, regardless
 /// of how many shards feed it. Each heartbeat line carries an ETA - both
@@ -101,20 +115,33 @@ using EngineFactory = std::function<std::unique_ptr<CampaignEngine>()>;
 /// the gauge reset happens and record() is a cheap no-op.
 class ProgressTracker {
  public:
-  ProgressTracker(std::string model, unsigned total, unsigned interval);
+  /// 64-bit totals: distributed campaigns legitimately exceed 2^31
+  /// experiments, and every rate below divides by 64-bit counts so the
+  /// heartbeat math cannot overflow or divide by zero.
+  ProgressTracker(std::string model, std::uint64_t total,
+                  std::uint64_t interval);
 
   void record(const ExperimentOutcome& outcome);
 
+  /// Emit a progress line right now, even with zero completions - the
+  /// time-driven heartbeat of the campaign service coordinator. With no
+  /// completed experiments yet there is no observed rate, so the line
+  /// carries eta_wall_s=null instead of a fabricated (or divide-by-zero)
+  /// estimate.
+  void heartbeat();
+
  private:
+  void emitLocked();
+
   std::mutex mu_;
   std::string model_;
-  unsigned total_;
-  unsigned interval_;
-  unsigned done_ = 0;
-  std::size_t failures_ = 0;
-  std::size_t latents_ = 0;
-  std::size_t silents_ = 0;
-  std::size_t quarantined_ = 0;
+  std::uint64_t total_;
+  std::uint64_t interval_;
+  std::uint64_t done_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t latents_ = 0;
+  std::uint64_t silents_ = 0;
+  std::uint64_t quarantined_ = 0;
   double modeledSum_ = 0;
   std::chrono::steady_clock::time_point start_;
   obs::Gauge& gauge_;

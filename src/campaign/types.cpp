@@ -24,6 +24,30 @@ const char* toString(TargetClass t) {
   return "?";
 }
 
+bool faultModelFromString(std::string_view text, FaultModel& out) {
+  for (const FaultModel m : {FaultModel::BitFlip, FaultModel::Pulse,
+                             FaultModel::Delay, FaultModel::Indetermination}) {
+    if (text == toString(m)) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool targetClassFromString(std::string_view text, TargetClass& out) {
+  for (const TargetClass t :
+       {TargetClass::SequentialFF, TargetClass::MemoryBlockBit,
+        TargetClass::CombinationalLut, TargetClass::CbInputLine,
+        TargetClass::SequentialLine, TargetClass::CombinationalLine}) {
+    if (text == toString(t)) {
+      out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
 const char* toString(Outcome o) {
   switch (o) {
     case Outcome::Silent: return "silent";

@@ -20,6 +20,8 @@ namespace fades::campaign {
 
 enum class FaultModel : std::uint8_t { BitFlip, Pulse, Delay, Indetermination };
 const char* toString(FaultModel m);
+/// Inverse of toString(FaultModel); false when `text` names no model.
+bool faultModelFromString(std::string_view text, FaultModel& out);
 
 /// Which resource class a campaign draws targets from; mirrors the
 /// "FPGA target" column of the paper's Table 1.
@@ -32,6 +34,8 @@ enum class TargetClass : std::uint8_t {
   CombinationalLine,  // routed line driven by a LUT (delay)
 };
 const char* toString(TargetClass t);
+/// Inverse of toString(TargetClass); false when `text` names no class.
+bool targetClassFromString(std::string_view text, TargetClass& out);
 
 /// Fault effect classification (paper Section 5, results analysis module).
 enum class Outcome : std::uint8_t { Silent, Latent, Failure };

@@ -1,0 +1,230 @@
+#include "service/wire.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace fades::service {
+
+using common::ErrorKind;
+using common::raise;
+using common::require;
+
+std::string fnv1a64Hex(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(fd >= 0, ErrorKind::LinkError, "cannot create listener socket");
+  sock_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  require(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0,
+          ErrorKind::LinkError,
+          "cannot bind 127.0.0.1:" + std::to_string(port) + ": " +
+              std::strerror(errno));
+  require(::listen(fd, 64) == 0, ErrorKind::LinkError,
+          "cannot listen on port " + std::to_string(port));
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  require(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+          ErrorKind::LinkError, "cannot read listener address");
+  port_ = ntohs(bound.sin_port);
+}
+
+Socket Listener::accept(int timeoutMs) {
+  if (!sock_.valid()) return Socket();
+  pollfd pfd{sock_.fd(), POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeoutMs);
+  if (rc <= 0) return Socket();
+  const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) return Socket();
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket(fd);
+}
+
+Socket connectTo(const std::string& host, std::uint16_t port, int timeoutMs) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(fd >= 0, ErrorKind::LinkError, "cannot create socket");
+  Socket sock(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  require(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+          ErrorKind::LinkError, "bad host address '" + host + "'");
+  // Non-blocking connect bounded by poll: a dead coordinator fails the
+  // worker's attempt within the timeout instead of the kernel's (minutes
+  // long) SYN retry schedule.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0) {
+    require(errno == EINPROGRESS, ErrorKind::LinkError,
+            "connect to " + host + ":" + std::to_string(port) + " failed: " +
+                std::strerror(errno));
+    pollfd pfd{fd, POLLOUT, 0};
+    require(::poll(&pfd, 1, timeoutMs) > 0, ErrorKind::LinkError,
+            "connect to " + host + ":" + std::to_string(port) + " timed out");
+    int err = 0;
+    socklen_t len = sizeof err;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    require(err == 0, ErrorKind::LinkError,
+            "connect to " + host + ":" + std::to_string(port) + " failed: " +
+                std::strerror(err));
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+bool waitReadable(const Socket& s, int timeoutMs) {
+  pollfd pfd{s.fd(), POLLIN, 0};
+  return ::poll(&pfd, 1, timeoutMs) > 0;
+}
+
+namespace {
+
+/// Write all of `data`, waiting up to `timeoutMs` for each slice of socket
+/// buffer space. MSG_NOSIGNAL turns a closed peer into EPIPE instead of a
+/// process-killing SIGPIPE.
+void writeFully(const Socket& s, const char* data, std::size_t size,
+                int timeoutMs) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n =
+        ::send(s.fd(), data + off, size - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{s.fd(), POLLOUT, 0};
+      require(::poll(&pfd, 1, timeoutMs) > 0, ErrorKind::LinkError,
+              "frame send stalled past " + std::to_string(timeoutMs) + " ms");
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    raise(ErrorKind::LinkError,
+          std::string("frame send failed: ") + std::strerror(errno));
+  }
+}
+
+/// Read exactly `size` bytes. Returns false on EOF before the first byte
+/// (clean close); raises on EOF mid-buffer or a stall past `timeoutMs`.
+bool readFully(const Socket& s, char* data, std::size_t size, int timeoutMs) {
+  std::size_t off = 0;
+  while (off < size) {
+    if (!waitReadable(s, timeoutMs)) {
+      raise(ErrorKind::LinkError,
+            "frame read stalled past " + std::to_string(timeoutMs) + " ms");
+    }
+    const ssize_t n = ::recv(s.fd(), data + off, size - off, 0);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (off == 0) return false;
+      raise(ErrorKind::LinkError, "peer closed connection mid-frame");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    raise(ErrorKind::LinkError,
+          std::string("frame read failed: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+}  // namespace
+
+void sendMessage(const Socket& s, const obs::Json& message,
+                 obs::Counter* bytesStreamed) {
+  require(s.valid(), ErrorKind::LinkError, "send on closed socket");
+  const std::string payload = message.dump();
+  require(payload.size() <= kMaxFrameBytes, ErrorKind::LinkError,
+          "frame payload of " + std::to_string(payload.size()) +
+              " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+              "-byte frame bound");
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  char header[4] = {static_cast<char>(size >> 24),
+                    static_cast<char>(size >> 16),
+                    static_cast<char>(size >> 8), static_cast<char>(size)};
+  // Header and payload go out as one buffer: a frame is either fully queued
+  // to the kernel or the send raised, never a header with no body.
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.append(header, 4);
+  frame += payload;
+  writeFully(s, frame.data(), frame.size(), /*timeoutMs=*/10000);
+  if (bytesStreamed != nullptr) bytesStreamed->add(frame.size());
+}
+
+std::optional<obs::Json> recvMessage(const Socket& s, int timeoutMs,
+                                     obs::Counter* bytesStreamed) {
+  require(s.valid(), ErrorKind::LinkError, "receive on closed socket");
+  char header[4];
+  if (!readFully(s, header, 4, timeoutMs)) return std::nullopt;
+  const std::uint32_t size =
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[0])) << 24) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[1])) << 16) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[2])) << 8) |
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[3]));
+  // Bound check before the allocation: a hostile 4 GiB length prefix is an
+  // error string, not an out-of-memory.
+  require(size <= kMaxFrameBytes, ErrorKind::LinkError,
+          "frame length prefix of " + std::to_string(size) +
+              " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+              "-byte frame bound");
+  std::string payload(size, '\0');
+  if (size != 0 && !readFully(s, payload.data(), size, timeoutMs)) {
+    raise(ErrorKind::LinkError, "peer closed connection mid-frame");
+  }
+  if (bytesStreamed != nullptr) bytesStreamed->add(4 + payload.size());
+  std::string error;
+  auto parsed = obs::Json::parse(payload, &error);
+  require(parsed.has_value() && parsed->isObject(), ErrorKind::LinkError,
+          "frame payload is not a JSON object: " + error);
+  return parsed;
+}
+
+}  // namespace fades::service

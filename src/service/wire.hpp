@@ -1,0 +1,100 @@
+// fades.wire/1 - the framing layer of the distributed campaign service.
+//
+// One TCP connection carries a sequence of frames; each frame is a 4-byte
+// big-endian length followed by exactly that many bytes of compact JSON (one
+// message object). Length-prefixed framing keeps the parser trivial and the
+// failure modes enumerable: a frame whose length exceeds kMaxFrameBytes is
+// rejected before any allocation (an adversarial or corrupt peer cannot make
+// the receiver grow without bound), a peer that stalls mid-frame trips the
+// read timeout instead of wedging the thread, and a clean EOF between frames
+// is an ordinary disconnect, not an error.
+//
+// The payload vocabulary (message types, field names) lives with the
+// coordinator and worker; this header only moves framed JSON and owns the
+// loopback socket plumbing. Everything is plain POSIX sockets - the service
+// is built for lab-LAN / loopback scale, matching the paper's experiment
+// set-up of one host driving board replicas.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace fades::service {
+
+/// Schema tag carried in every hello message; a peer speaking anything else
+/// is rejected at the handshake.
+inline constexpr const char* kWireSchema = "fades.wire/1";
+
+/// Hard ceiling on one frame's payload. A complete-block message for a
+/// record-keeping campaign block runs a few hundred KiB; 8 MiB leaves ample
+/// headroom while still bounding what a hostile length prefix can demand.
+inline constexpr std::uint32_t kMaxFrameBytes = 8u << 20;
+
+/// FNV-1a 64-bit, hex-encoded. Used for job-spec fingerprints, block result
+/// digests and content addresses in the artifact store; stability across
+/// processes matters (digests from different workers are compared), speed
+/// and crypto strength do not.
+std::string fnv1a64Hex(std::string_view text);
+
+/// Owning socket fd. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Loopback listener. Binds 127.0.0.1:`port` (0 picks an ephemeral port,
+/// which port() then reports) and accepts connections with a bounded wait so
+/// accept loops can poll a stop flag.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+
+  /// Wait up to `timeoutMs` for one connection; an invalid Socket means the
+  /// timeout elapsed (not an error).
+  Socket accept(int timeoutMs);
+
+  void close() { sock_.close(); }
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to host:port, failing with LinkError after `timeoutMs`.
+Socket connectTo(const std::string& host, std::uint16_t port, int timeoutMs);
+
+/// True when `s` has readable data (or EOF) within `timeoutMs`.
+bool waitReadable(const Socket& s, int timeoutMs);
+
+/// Send one frame. Raises LinkError on a broken or persistently stalled
+/// peer. When `bytesStreamed` is set, the frame's full size (header +
+/// payload) is added to it.
+void sendMessage(const Socket& s, const obs::Json& message,
+                 obs::Counter* bytesStreamed = nullptr);
+
+/// Receive one frame. Returns nullopt on clean EOF at a frame boundary;
+/// raises LinkError on a mid-frame EOF, a read stalled past `timeoutMs`, an
+/// oversized length prefix, or a payload that is not one JSON object.
+std::optional<obs::Json> recvMessage(const Socket& s, int timeoutMs,
+                                     obs::Counter* bytesStreamed = nullptr);
+
+}  // namespace fades::service

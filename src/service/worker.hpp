@@ -1,0 +1,100 @@
+// Campaign worker daemon - the client half of the distributed service.
+//
+// A worker connects to the coordinator, leases blocks of experiments, runs
+// each experiment through the same runExperimentWithRetry discipline the
+// in-process parallel runner uses (transient errors retry against a
+// recovered replica, persistent ones quarantine the experiment), and streams
+// the block's outcomes back in one completion message. Between experiments
+// it heartbeats to keep the lease alive; a "revoked" answer means the
+// coordinator gave up on it (deadline passed, block re-leased) and the
+// remaining work of the block is abandoned - finishing it would only produce
+// a duplicate for the digest check.
+//
+// Link robustness mirrors the worker's own experiment discipline: any wire
+// error drops the connection, and the daemon reconnects with capped
+// exponential backoff. Campaign state lives entirely on the coordinator, so
+// a reconnected worker just asks for the next lease.
+//
+// The `tamper` hook exists to make the byzantine defense testable: it
+// mutates outcomes after execution but before they hit the wire - a worker
+// that lies about results, not one that mis-runs them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "campaign/types.hpp"
+#include "service/jobspec.hpp"
+#include "service/wire.hpp"
+
+namespace fades::service {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Stable worker identity; strikes, backoff and bans attach to this name
+  /// across reconnects. Empty derives "worker-<pid>".
+  std::string name;
+  /// Attempt budget per experiment (the PR-4 retry/quarantine discipline).
+  unsigned experimentAttempts = 3;
+  /// Lease keep-alive period; must be well under the coordinator's leaseMs.
+  int heartbeatMs = 1000;
+  /// Per-frame read stall bound on the coordinator connection.
+  int recvTimeoutMs = 5000;
+  /// Reconnect backoff: base doubles per failed attempt up to the cap.
+  int reconnectBaseMs = 200;
+  int reconnectCapMs = 5000;
+  /// Consecutive failed connect attempts before run() gives up (0 = retry
+  /// until stopped).
+  unsigned maxReconnects = 0;
+  /// Built campaign systems kept alive, keyed by job fingerprint. Building
+  /// a system is the expensive part (synthesis + golden run), so a worker
+  /// serving few campaigns reuses them across leases.
+  unsigned maxCachedSystems = 2;
+  /// Byzantine test hook: mutate each outcome before it is streamed back.
+  std::function<void(campaign::ExperimentOutcome&)> tamper;
+};
+
+class WorkerDaemon {
+ public:
+  explicit WorkerDaemon(WorkerOptions options);
+
+  /// Serve leases until the coordinator answers "shutdown" (returns 0),
+  /// stop() is called (returns 0), or the reconnect budget runs out
+  /// (returns 1).
+  int run();
+
+  /// Ask run() to wind down at the next poll point.
+  void stop() { stop_.store(true); }
+
+  const std::string& name() const { return opt_.name; }
+
+ private:
+  struct CachedSystem {
+    std::shared_ptr<CampaignSystem> system;
+    std::unique_ptr<campaign::CampaignEngine> engine;
+    std::vector<std::uint32_t> pool;
+    std::uint64_t lastUsed = 0;
+  };
+
+  enum class Served : std::uint8_t { Shutdown, Stopped, LinkLost };
+
+  Served serveConnection(const Socket& sock);
+  void runLease(const Socket& sock, const obs::Json& lease);
+  CachedSystem& systemFor(const JobSpec& job, const std::string& fp);
+  void sleepInterruptible(int ms);
+
+  WorkerOptions opt_;
+  std::atomic<bool> stop_{false};
+  std::map<std::string, CachedSystem> systems_;
+  std::uint64_t useSeq_ = 0;
+  /// Fingerprints whose system failed to build or hit a fatal engine error:
+  /// leases for them are released instead of retried forever.
+  std::map<std::string, std::string> poisoned_;
+};
+
+}  // namespace fades::service
