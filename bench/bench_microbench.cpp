@@ -17,7 +17,9 @@
 #include "mc8051/core.hpp"
 #include "mc8051/iss.hpp"
 #include "mc8051/workloads.hpp"
+#include "campaign/prune_plan.hpp"
 #include "rtl/builder.hpp"
+#include "service/jobspec.hpp"
 #include "sim/compiled.hpp"
 #include "sim/simulator.hpp"
 #include "synth/implement.hpp"
@@ -348,6 +350,113 @@ void BM_ReconfigExperimentGsrUncached(benchmark::State& state) {
                          core::BitFlipVia::Gsr);
 }
 BENCHMARK(BM_ReconfigExperimentGsrUncached);
+
+// Liveness-based fault-list pruning on the paper's Bubblesort workload:
+// derive the fades.prune/1 plan (golden trace + analysis, no campaign
+// execution) and report the experiments-executed collapse. Wall-clock times
+// the analysis itself; the counters are machine-independent and carry the
+// numbers EXPERIMENTS.md tabulates and CI's regression gate tracks - the
+// pool-proportional FF+RAM campaign must collapse >= 5x.
+campaign::PrunePlan derivePrunePlan(campaign::FaultModel model,
+                                    campaign::TargetClass targets,
+                                    unsigned experiments) {
+  service::JobSpec job;
+  job.tool = "vfit";
+  job.workload = "bubblesort6";
+  job.spec.model = model;
+  job.spec.targets = targets;
+  job.spec.band = campaign::DurationBand::shortBand();
+  job.spec.experiments = experiments;
+  job.spec.seed = 2006;
+  job.prune = true;
+  const auto sys = service::buildSystem(job);
+  return service::buildPrunePlan(*sys);
+}
+
+void reportCollapse(benchmark::State& state, const campaign::PrunePlan& plan) {
+  state.counters["experiments"] =
+      static_cast<double>(plan.spec.experiments);
+  state.counters["executed"] = static_cast<double>(plan.executedCount());
+  state.counters["collapsed"] = static_cast<double>(plan.collapsedCount());
+  state.counters["collapse_factor"] = plan.collapseFactor();
+}
+
+void BM_PruneCollapseFlops(benchmark::State& state) {
+  campaign::PrunePlan plan;
+  for (auto _ : state) {
+    plan = derivePrunePlan(campaign::FaultModel::BitFlip,
+                           campaign::TargetClass::SequentialFF, 2000);
+    benchmark::DoNotOptimize(plan.classes.size());
+  }
+  reportCollapse(state, plan);
+}
+BENCHMARK(BM_PruneCollapseFlops)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_PruneCollapseMemory(benchmark::State& state) {
+  campaign::PrunePlan plan;
+  for (auto _ : state) {
+    plan = derivePrunePlan(campaign::FaultModel::BitFlip,
+                           campaign::TargetClass::MemoryBlockBit, 2000);
+    benchmark::DoNotOptimize(plan.classes.size());
+  }
+  reportCollapse(state, plan);
+}
+BENCHMARK(BM_PruneCollapseMemory)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Pulses into LUTs collapse only through dead-target classes, and synthesis
+// already sweeps gates with no path to a visible net - so on a fully
+// observed design the factor stays near 1x. The benchmark documents that
+// floor rather than gating on it.
+void BM_PruneCollapseLutsPulse(benchmark::State& state) {
+  campaign::PrunePlan plan;
+  for (auto _ : state) {
+    plan = derivePrunePlan(campaign::FaultModel::Pulse,
+                           campaign::TargetClass::CombinationalLut, 2000);
+    benchmark::DoNotOptimize(plan.classes.size());
+  }
+  reportCollapse(state, plan);
+}
+BENCHMARK(BM_PruneCollapseLutsPulse)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// The acceptance metric: one FF+RAM campaign pair with experiment counts
+// proportional to the two pools (the way a whole-chip campaign would weight
+// them), 5000 experiments total. collapse_factor here is the overall
+// experiments-executed reduction and must stay >= 5x.
+void BM_PruneCollapseFlopsPlusMemory(benchmark::State& state) {
+  campaign::PrunePlan ff, ram;
+  unsigned total = 5000;
+  for (auto _ : state) {
+    // Probe pass fixes the two pool sizes; the split is then proportional.
+    const auto ffProbe = derivePrunePlan(
+        campaign::FaultModel::BitFlip, campaign::TargetClass::SequentialFF, 1);
+    const auto ramProbe =
+        derivePrunePlan(campaign::FaultModel::BitFlip,
+                        campaign::TargetClass::MemoryBlockBit, 1);
+    const double ffShare =
+        static_cast<double>(ffProbe.poolSize) /
+        static_cast<double>(ffProbe.poolSize + ramProbe.poolSize);
+    const auto ffCount =
+        static_cast<unsigned>(ffShare * static_cast<double>(total) + 0.5);
+    ff = derivePrunePlan(campaign::FaultModel::BitFlip,
+                         campaign::TargetClass::SequentialFF, ffCount);
+    ram = derivePrunePlan(campaign::FaultModel::BitFlip,
+                          campaign::TargetClass::MemoryBlockBit,
+                          total - ffCount);
+    benchmark::DoNotOptimize(ff.classes.size() + ram.classes.size());
+  }
+  const auto executed = ff.executedCount() + ram.executedCount();
+  state.counters["experiments"] = static_cast<double>(total);
+  state.counters["executed"] = static_cast<double>(executed);
+  state.counters["collapsed"] =
+      static_cast<double>(ff.collapsedCount() + ram.collapsedCount());
+  state.counters["collapse_factor"] =
+      static_cast<double>(total) / static_cast<double>(executed);
+}
+BENCHMARK(BM_PruneCollapseFlopsPlusMemory)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
 
 void BM_Synthesize8051(benchmark::State& state) {
   const auto& s = Shared::get();

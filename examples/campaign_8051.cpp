@@ -40,6 +40,16 @@
 //              line from a killed run.
 //     --fsync  fsync the journal after every record (power-loss
 //              durability; default flushes to the OS only).
+//     --prune  liveness-based fault-list pruning: derive a fades.prune/1
+//              plan from the golden run, execute one representative per
+//              provably-equivalent class and synthesize the collapsed
+//              members from it. Outcome totals, records and the written
+//              artifact stay byte-identical to the unpruned campaign
+//              (collapsed records additionally carry `pruned_from`); only
+//              the executed-experiment count - and so wall-clock - drops.
+//              Requires --tool fades or vfit and no --link-faults.
+//     --prune-plan FILE with --prune, also write the derived plan JSON
+//              (equivalence classes + collapse accounting) to FILE.
 //     model    bitflip | pulse | delay | indet        (default bitflip)
 //     targets  ff | memory | lut | seqline | combline  (default ff)
 //     unit     any | registers | ram | alu | mem | fsm (default any)
@@ -61,6 +71,7 @@
 #include "campaign/artifact.hpp"
 #include "campaign/journal.hpp"
 #include "campaign/parallel.hpp"
+#include "campaign/prune_plan.hpp"
 #include "campaign/types.hpp"
 #include "netlist/netlist.hpp"
 #include "service/jobspec.hpp"
@@ -75,6 +86,7 @@ constexpr const char* kUsage =
     "                     [--engine event|compiled]\n"
     "                     [--jobs N|auto] [--no-cache] [--link-faults R]\n"
     "                     [--checkpoint FILE] [--resume] [--fsync]\n"
+    "                     [--prune] [--prune-plan FILE]\n"
     "                     [model] [targets] [unit] [faults] [band]\n"
     "                     [artifact.json]\n"
     "  model   bitflip | pulse | delay | indet         (default bitflip)\n"
@@ -134,6 +146,8 @@ int main(int argc, char** argv) {
   std::string checkpointPath;
   bool resume = false;
   bool fsyncEachRecord = false;
+  bool prune = false;
+  std::string prunePlanPath;
   std::string toolArg = "fades";
   std::string engineArg;
   if (const char* env = std::getenv("FADES_JOBS")) {
@@ -158,6 +172,11 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (a == "--fsync") {
       fsyncEachRecord = true;
+    } else if (a == "--prune") {
+      prune = true;
+    } else if (a == "--prune-plan") {
+      prunePlanPath = flagValue(i, "--prune-plan");
+      prune = true;
     } else if (a == "--tool") {
       toolArg = flagValue(i, "--tool");
     } else if (a == "--engine") {
@@ -190,6 +209,15 @@ int main(int argc, char** argv) {
     usageError("--link-faults requires --tool fades (the other injectors "
                "move no frames over a board link)");
   }
+  if (prune && toolArg == "autonomous") {
+    usageError("--prune requires --tool fades or vfit (the autonomous "
+               "backend cannot synthesize collapsed outcomes)");
+  }
+  if (prune && linkFaultRate > 0.0) {
+    usageError("--prune requires a reliable link: a faulted link can "
+               "quarantine a class representative its members would have "
+               "survived, breaking byte-identity with the unpruned run");
+  }
   if (positional.size() > 6) {
     usageError("too many positional arguments");
   }
@@ -213,6 +241,7 @@ int main(int argc, char** argv) {
   job.engine = engineArg.empty() ? "event" : engineArg;
   job.workload = "bubblesort6";
   job.linkFaultRate = linkFaultRate;
+  job.prune = prune;
   // Console detail only for small campaigns, but an artifact request keeps
   // the per-experiment records regardless so the JSON carries every row.
   job.keepRecords = faults <= 40 || !artifactPath.empty();
@@ -250,6 +279,27 @@ int main(int argc, char** argv) {
   campaign::ParallelOptions popt;
   popt.jobs = jobs;
   popt.progressInterval = 100;
+  campaign::PrunePlan plan;
+  if (prune) {
+    std::printf("Deriving the fault-list prune plan from the golden run...\n");
+    plan = service::buildPrunePlan(*system);
+    std::printf("%s\n", campaign::accountingLine(plan).c_str());
+    if (!prunePlanPath.empty()) {
+      const std::string text = campaign::toJson(plan).dump(2) + "\n";
+      FILE* f = std::fopen(prunePlanPath.c_str(), "w");
+      bool ok = f != nullptr &&
+                std::fwrite(text.data(), 1, text.size(), f) == text.size();
+      if (f != nullptr) ok = (std::fclose(f) == 0) && ok;
+      if (!ok) {
+        std::fprintf(stderr, "error: cannot write prune plan to %s\n",
+                     prunePlanPath.c_str());
+        return 1;
+      }
+      std::printf("Wrote prune plan: %s (%zu classes)\n",
+                  prunePlanPath.c_str(), plan.classes.size());
+    }
+    popt.prunePlan = &plan;
+  }
   std::unique_ptr<campaign::CampaignJournal> journal;
   if (!checkpointPath.empty()) {
     journal = std::make_unique<campaign::CampaignJournal>(

@@ -42,6 +42,9 @@ Json toJson(const ExperimentRecord& record) {
   j.set("pc", Json(record.pc));
   j.set("opcode", Json(record.opcode));
   j.set("detect_cycle", Json(record.detectCycle));
+  // Only synthesized (pruned) records carry the provenance field, so
+  // artifacts from unpruned campaigns are unchanged byte for byte.
+  if (record.prunedFrom >= 0) j.set("pruned_from", Json(record.prunedFrom));
   return j;
 }
 
@@ -91,6 +94,7 @@ bool recordFromJson(const Json& j, ExperimentRecord& out) {
   fieldI64(j, "pc", out.pc);
   fieldI64(j, "opcode", out.opcode);
   fieldI64(j, "detect_cycle", out.detectCycle);
+  fieldI64(j, "pruned_from", out.prunedFrom);
   return outcomeFromString(outcome, out.outcome);
 }
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "campaign/journal.hpp"
+#include "campaign/prune_plan.hpp"
 #include "common/error.hpp"
 #include "obs/log.hpp"
 #include "obs/trace.hpp"
@@ -24,6 +25,18 @@ unsigned resolveJobs(unsigned requested) {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// CampaignEngine
+// ---------------------------------------------------------------------------
+
+ExperimentOutcome CampaignEngine::synthesizeOutcome(
+    const CampaignSpec& /*spec*/, std::span<const std::uint32_t> /*pool*/,
+    unsigned /*index*/, const ExperimentOutcome& /*representative*/) {
+  throw common::FadesError(ErrorKind::InvalidArgument,
+                           "this campaign engine does not support "
+                           "fades.prune/1 plans");
+}
 
 // ---------------------------------------------------------------------------
 // ProgressTracker
@@ -216,6 +229,24 @@ CampaignResult ParallelCampaignRunner::run(const CampaignSpec& spec) {
     }
   }
 
+  // Fault-list pruning: collapsed members never reach the worker loop.
+  // They are pre-marked done (unless the journal already materialized them
+  // on a previous run) and synthesized from their representatives after the
+  // workers finish, so only the plan's executedCount() experiments execute.
+  std::vector<char> fromJournal;
+  if (opt_.prunePlan != nullptr) {
+    const PrunePlan& plan = *opt_.prunePlan;
+    plan.validate();
+    require(specKey(plan.spec) == specKey(spec), ErrorKind::InvalidArgument,
+            "prune plan was derived for a different campaign spec");
+    require(plan.poolSize == pool.size(), ErrorKind::InvalidArgument,
+            "prune plan was derived for a different target pool");
+    fromJournal = alreadyDone;
+    for (const auto& cls : plan.classes) {
+      for (const std::uint64_t m : cls.members) alreadyDone[m] = 1;
+    }
+  }
+
   const unsigned attempts = std::max(1u, opt_.experimentAttempts);
   // Lease width: bit-parallel engines claim whole waves of contiguous
   // indices (wave composition cannot change outcomes - every experiment
@@ -297,6 +328,33 @@ CampaignResult ParallelCampaignRunner::run(const CampaignSpec& spec) {
     for (auto& t : threads) t.join();
   }
   if (firstError) std::rethrow_exception(firstError);
+
+  // Materialize the collapsed members. Synthesis is cheap (no execution),
+  // so running it single-threaded on engine 0 after the join keeps the
+  // journal append order race-free; a quarantined representative has no
+  // result to clone, so its members fall back to real execution.
+  if (opt_.prunePlan != nullptr) {
+    obs::Counter& cPruned =
+        obs::Registry::global().counter("campaign.pruned_experiments");
+    for (const auto& cls : opt_.prunePlan->classes) {
+      const ExperimentOutcome& rep = outcomes[cls.representative];
+      for (const std::uint64_t m : cls.members) {
+        if (fromJournal[m]) continue;  // resumed from a previous run
+        const unsigned index = static_cast<unsigned>(m);
+        if (rep.quarantined) {
+          outcomes[m] = runExperimentWithRetry(*engines_[0], spec, pool,
+                                               index, attempts, cQuarantined);
+        } else {
+          outcomes[m] = engines_[0]->synthesizeOutcome(spec, pool, index, rep);
+          outcomes[m].index = m;
+          outcomes[m].attempts = 0;
+          cPruned.inc();
+        }
+        if (opt_.journal != nullptr) opt_.journal->append(outcomes[m]);
+        progress.record(outcomes[m]);
+      }
+    }
+  }
 
   // Merge in experiment-index order: the exact fold sequence of the serial
   // loop, so sums and stats come out bit-identical.

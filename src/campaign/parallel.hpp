@@ -34,6 +34,7 @@
 namespace fades::campaign {
 
 class CampaignJournal;
+struct PrunePlan;
 
 /// One worker's private campaign engine. Implementations own whatever
 /// replica state they need (a device plus the tool driving it) and run any
@@ -68,6 +69,18 @@ class CampaignEngine {
   /// then leases contiguous index blocks of this size); the default of 1
   /// keeps the classic per-experiment work stealing.
   virtual unsigned waveWidth() const { return 1; }
+
+  /// Materialize experiment `index` as a synthesized outcome cloned from
+  /// its fades.prune/1 equivalence-class representative: measured fields
+  /// (outcome, modeled cost, detect cycle) are the representative's, while
+  /// the planned fields (target name, injection instant, duration, pc,
+  /// opcode) are re-derived for `index` so the record reads exactly as if
+  /// the member had run. Engines that support pruning override this; the
+  /// default refuses, which makes --prune a hard error on tools whose
+  /// equivalence the analysis cannot vouch for.
+  virtual ExperimentOutcome synthesizeOutcome(
+      const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+      unsigned index, const ExperimentOutcome& representative);
 
   /// Run the experiments named by `indices` as one batch. Every outcome
   /// must still be a pure function of (spec, pool, index, rerun) - batching
@@ -164,6 +177,15 @@ struct ParallelOptions {
   CampaignJournal* journal = nullptr;
   /// Skip experiments already committed to `journal` (requires journal).
   bool resume = false;
+  /// Optional fades.prune/1 plan. When set, collapsed members are not
+  /// executed: after the representatives finish, each member is
+  /// materialized through CampaignEngine::synthesizeOutcome (flagged
+  /// pruned_from), journaled like a real outcome, and folded in index
+  /// order as usual - so the campaign result is byte-identical in outcome
+  /// totals while only the plan's executedCount() experiments run. The
+  /// plan's spec must match the spec passed to run() (specKey equality).
+  /// Not owned; must outlive the runner's run() calls.
+  const PrunePlan* prunePlan = nullptr;
 };
 
 /// Partitions a campaign's experiment list across worker threads, each

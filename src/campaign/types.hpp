@@ -118,6 +118,11 @@ struct ExperimentRecord {
   /// detectCycle - injectCycle is the fault latency; -1 when the output
   /// trace never diverged (silent and latent outcomes).
   std::int64_t detectCycle = -1;
+  /// Experiment index of the equivalence-class representative this record
+  /// was synthesized from under a fades.prune/1 plan; -1 when the
+  /// experiment was executed for real (unpruned artifacts never carry the
+  /// field, so they stay byte-identical).
+  std::int64_t prunedFrom = -1;
 };
 
 /// Self-contained result of one campaign experiment. Both the serial

@@ -900,6 +900,46 @@ campaign::ExperimentOutcome FadesTool::runCampaignExperiment(
   }
 }
 
+campaign::ExperimentOutcome FadesTool::synthesizeCampaignExperiment(
+    const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+    unsigned index, const campaign::ExperimentOutcome& representative) {
+  // Replay attempt 0 of this experiment's own stream for the planned
+  // fields. Prunable target kinds (FF state, BRAM content, LUT outputs,
+  // dead nets) never raise InjectionError, so attempt 0 is the experiment.
+  Rng erng(common::streamSeed(spec.seed, std::uint64_t{index} * 131));
+  const auto target = pool[erng.below(pool.size())];
+  const auto injectCycle = erng.below(runCycles_);
+  const double duration =
+      spec.band.minCycles +
+      erng.uniform01() * (spec.band.maxCycles - spec.band.minCycles);
+
+  // The measured half - behavior and reconfiguration traffic - is exactly
+  // the representative's (that equivalence is what the plan proved; traffic
+  // is value-independent, so it matches even when instants differ).
+  campaign::ExperimentOutcome out = representative;
+  out.index = index;
+  out.attempts = 0;
+  out.hasRecord = false;
+  out.record = campaign::ExperimentRecord{};
+  if (opt_.keepRecords) {
+    out.hasRecord = true;
+    out.record = campaign::ExperimentRecord{
+        targetName(spec.targets, target), injectCycle, duration, out.outcome,
+        out.modeledSeconds};
+    out.record.component = netlist::toString(targetUnit(spec.targets, target));
+    out.record.detectCycle =
+        representative.hasRecord ? representative.record.detectCycle : -1;
+    if (opt_.instructionTrace != nullptr &&
+        injectCycle < opt_.instructionTrace->size()) {
+      const auto& sample = (*opt_.instructionTrace)[injectCycle];
+      out.record.pc = sample.pc;
+      out.record.opcode = sample.opcode;
+    }
+    out.record.prunedFrom = static_cast<std::int64_t>(representative.index);
+  }
+  return out;
+}
+
 CampaignResult FadesTool::runCampaign(const CampaignSpec& spec) {
   CampaignResult result;
   result.spec = spec;
@@ -965,6 +1005,13 @@ campaign::ExperimentOutcome FadesCampaignEngine::runExperimentAt(
     const CampaignSpec& spec, std::span<const std::uint32_t> pool,
     unsigned index, unsigned rerun) {
   return tool_->runCampaignExperiment(spec, pool, index, rerun);
+}
+
+campaign::ExperimentOutcome FadesCampaignEngine::synthesizeOutcome(
+    const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+    unsigned index, const campaign::ExperimentOutcome& representative) {
+  return tool_->synthesizeCampaignExperiment(spec, pool, index,
+                                             representative);
 }
 
 void FadesCampaignEngine::recover() { tool_->recoverLink(); }

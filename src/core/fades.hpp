@@ -153,6 +153,16 @@ class FadesTool {
       const CampaignSpec& spec, std::span<const std::uint32_t> pool,
       unsigned index, unsigned rerun = 0);
 
+  /// Materialize the outcome of experiment `index` from its fades.prune/1
+  /// class representative without touching the device: replays the
+  /// experiment's own draws for the planned fields (target, instant,
+  /// duration) and clones the measured fields (outcome, costs, detect
+  /// cycle) from `representative`. Only valid for experiments a PrunePlan
+  /// proved equivalent to the representative.
+  campaign::ExperimentOutcome synthesizeCampaignExperiment(
+      const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+      unsigned index, const campaign::ExperimentOutcome& representative);
+
   /// Recover from a link failure that may have abandoned a reconfiguration
   /// session mid-write: drop the wedged session and re-download the full
   /// configuration file on a quiet link (fault model suspended, meter reset
@@ -264,6 +274,10 @@ class FadesCampaignEngine final : public campaign::CampaignEngine {
   campaign::ExperimentOutcome runExperimentAt(
       const CampaignSpec& spec, std::span<const std::uint32_t> pool,
       unsigned index, unsigned rerun) override;
+  campaign::ExperimentOutcome synthesizeOutcome(
+      const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+      unsigned index, const campaign::ExperimentOutcome& representative)
+      override;
   void recover() override;
 
   FadesTool& tool() { return *tool_; }

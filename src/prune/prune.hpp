@@ -1,0 +1,107 @@
+// Liveness-based fault-list pruning (the pre-campaign half of the
+// ROADMAP's "fault-list pruning + vulnerability analytics" item).
+//
+// One golden run of the workload fixes the complete fault-free trajectory,
+// and against that trajectory most injections are provably equivalent:
+//
+//  - a bit-flip into a flop whose next-state input never picks it up is
+//    overwritten before anything reads it (provably Silent);
+//  - a bit-flip that sits dormant until a fixed golden cycle first exposes
+//    it reaches that cycle with the identical machine state no matter when
+//    inside the dormant window it was injected (one representative covers
+//    the whole window);
+//  - a bit-flip never consumed before the workload ends survives untouched
+//    into the final state capture (provably Latent);
+//  - a fault on a net whose forward cone reaches no flop input, no memory
+//    input and no observed output can never become visible at all.
+//
+// buildPlan() replays a campaign's per-experiment draws (the same
+// (spec.seed, index) streams both injectors consume), classifies every
+// experiment against the golden trace, and folds the provable equivalences
+// into a campaign::PrunePlan. The analysis is deliberately conservative:
+// any (fault model, target kind) combination it cannot vouch for is left
+// alone and those experiments simply run normally.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "campaign/prune_plan.hpp"
+#include "campaign/types.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/trace.hpp"
+#include "synth/implement.hpp"
+
+namespace fades::prune {
+
+/// A campaign target handle resolved to the netlist element it faults.
+struct TargetSite {
+  enum class Kind : std::uint8_t {
+    Flop,    // state bit of one flip-flop
+    RamBit,  // one stored memory bit (ram, row, bit)
+    Net,     // value of one net (LUT output / routed signal)
+    Opaque,  // tool-specific mechanism the analysis cannot reason about
+  };
+  Kind kind = Kind::Opaque;
+  netlist::FlopId flop{};
+  netlist::RamId ram{};
+  std::uint32_t row = 0;
+  unsigned bit = 0;
+  netlist::NetId net{};
+};
+
+/// Resolves a tool's target-pool handle to its netlist site. Each injector
+/// encodes handles differently, so each supplies its own decoder.
+using TargetDecoder = std::function<TargetSite(std::uint32_t handle)>;
+/// The tool's human-readable target name (FadesTool::targetName
+/// conventions for FADES, std::to_string(handle) for VFIT) - used for the
+/// plan's informational `target` field.
+using TargetNamer = std::function<std::string(std::uint32_t handle)>;
+
+/// Handle decoder for FADES target pools over an implementation.
+TargetDecoder fadesDecoder(const synth::Implementation& impl,
+                           campaign::TargetClass cls);
+/// Handle decoder for VFIT target pools over the source netlist.
+TargetDecoder vfitDecoder(const netlist::Netlist& netlist,
+                          campaign::TargetClass cls);
+
+struct AnalysisInputs {
+  /// Source netlist (must be validated); also the model the trace was
+  /// recorded from. Not owned.
+  const netlist::Netlist* netlist = nullptr;
+  /// Golden trace of exactly the campaign's workload length. Not owned.
+  const sim::GoldenTrace* trace = nullptr;
+  std::uint64_t runCycles = 0;
+  /// Output ports whose traces define Failure (the tool's observedOutputs).
+  std::vector<std::string> observedOutputs;
+  TargetDecoder decode;
+  TargetNamer name;
+  /// Set when the tool's modeled cost of an experiment depends only on
+  /// (fault model, active window), never on WHICH element is faulted -
+  /// VFIT's command-counting cost model. Lets fates that fix the outcome
+  /// regardless of target (provably Silent, provably Latent, dead targets)
+  /// merge across targets instead of per-target, which is where the bulk of
+  /// the collapse comes from. FADES keeps per-target classes: its
+  /// reconfiguration traffic is metered per frame address.
+  bool uniformCostAcrossTargets = false;
+};
+
+/// Fold the campaign's experiment list into a fades.prune/1 plan. Only
+/// provably-equivalent experiments are collapsed:
+///  - BitFlip on Flop sites: full per-cycle fate analysis (overwrite-
+///    before-read, exposure-window, persist-to-end, dead state bit);
+///  - BitFlip on RamBit sites: golden address-event windows (a row's flip
+///    is exposed at its next read and erased by its next write, both of
+///    which happen exactly at the row's golden address events);
+///  - Pulse / Indetermination on Net sites and Indetermination on Flop
+///    sites: dead-target collapse only, keyed by the active window so the
+///    members' modeled costs stay identical;
+///  - everything else: untouched (no classes).
+campaign::PrunePlan buildPlan(const campaign::CampaignSpec& spec,
+                              std::span<const std::uint32_t> pool,
+                              const AnalysisInputs& inputs);
+
+}  // namespace fades::prune

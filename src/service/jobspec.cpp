@@ -10,7 +10,10 @@
 #include "mc8051/core.hpp"
 #include "mc8051/iss.hpp"
 #include "mc8051/workloads.hpp"
+#include "prune/prune.hpp"
 #include "rtl/builder.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 #include "service/wire.hpp"
 #include "sim/engine.hpp"
 #include "vfit/vfit.hpp"
@@ -56,6 +59,9 @@ Json toJson(const JobSpec& job) {
   j.set("spec", campaign::toJson(job.spec));
   j.set("link_fault_rate", Json(job.linkFaultRate));
   j.set("keep_records", Json(job.keepRecords));
+  // Emitted only when set so every pre-pruning job keeps its fingerprint
+  // (the journal filename and worker cache key).
+  if (job.prune) j.set("prune", Json(true));
   j.set("name", Json(job.name));
   return j;
 }
@@ -79,6 +85,7 @@ bool jobSpecFromJson(const Json& j, JobSpec& out, std::string* error) {
   const Json* keep = j.find("keep_records");
   if (keep == nullptr) return fail(error, "job spec misses keep_records");
   out.keepRecords = keep->asBool();
+  if (const Json* prune = j.find("prune")) out.prune = prune->asBool();
 
   const Json* spec = j.find("spec");
   if (spec == nullptr || !spec->isObject()) {
@@ -139,6 +146,15 @@ void validate(const JobSpec& job) {
   // binding); explicit pools stay a single-process feature.
   require(job.spec.targetPool.empty(), ErrorKind::InvalidArgument,
           "explicit target pools are not supported by the service");
+  require(!job.prune || job.tool == "fades" || job.tool == "vfit",
+          ErrorKind::InvalidArgument,
+          "pruning requires the fades or vfit tool (the autonomous backend "
+          "cannot synthesize collapsed outcomes)");
+  // Link faults can quarantine a representative that its collapsed members
+  // would have survived, which would break byte-identity with the unpruned
+  // campaign - the property pruning exists to preserve.
+  require(!job.prune || job.linkFaultRate == 0.0, ErrorKind::InvalidArgument,
+          "pruning requires a reliable link (no --link-faults)");
 }
 
 std::string defaultName(const JobSpec& job) {
@@ -234,6 +250,8 @@ std::shared_ptr<CampaignSystem> buildSystem(const JobSpec& job,
     }
   }
 
+  sys->observedOutputs = observed;
+
   sim::EngineKind engineKind = sim::EngineKind::EventDriven;
   if (job.engine == "compiled") {
     const bool ok = sim::engineKindFromString(job.engine, engineKind);
@@ -274,6 +292,46 @@ std::shared_ptr<CampaignSystem> buildSystem(const JobSpec& job,
         core::fadesEngineFactory(*sys->impl, sys->runCycles, options);
   }
   return sys;
+}
+
+campaign::PrunePlan buildPrunePlan(const CampaignSystem& sys) {
+  const JobSpec& job = sys.job;
+  require(job.tool == "fades" || job.tool == "vfit",
+          ErrorKind::InvalidArgument,
+          "pruning requires the fades or vfit tool");
+
+  sim::Simulator golden(sys.netlist);
+  const sim::GoldenTrace trace =
+      sim::GoldenTrace::record(golden, sys.netlist, sys.runCycles);
+
+  prune::AnalysisInputs in;
+  in.netlist = &sys.netlist;
+  in.trace = &trace;
+  in.runCycles = sys.runCycles;
+  in.observedOutputs = sys.observedOutputs;
+
+  // One engine replica provides the pool enumeration and (for fades) the
+  // target-name convention; both are pure functions of the job, so the
+  // resulting plan is too.
+  const auto engine = sys.factory();
+  require(engine != nullptr, ErrorKind::InvalidArgument,
+          "engine factory returned null");
+  const auto pool = engine->enumeratePool(job.spec);
+  if (job.tool == "fades") {
+    auto* fades = static_cast<core::FadesCampaignEngine*>(engine.get());
+    in.decode = prune::fadesDecoder(*sys.impl, job.spec.targets);
+    in.name = [tool = &fades->tool(), cls = job.spec.targets](
+                  std::uint32_t handle) {
+      return tool->targetName(cls, handle);
+    };
+  } else {
+    in.decode = prune::vfitDecoder(sys.netlist, job.spec.targets);
+    in.name = [](std::uint32_t handle) { return std::to_string(handle); };
+    // VFIT's cost is a pure function of (model, window) - command counting
+    // - so outcome-pinning fates merge across the whole target pool.
+    in.uniformCostAcrossTargets = true;
+  }
+  return prune::buildPlan(job.spec, pool, in);
 }
 
 std::string artifactText(const JobSpec& job,

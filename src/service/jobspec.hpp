@@ -24,6 +24,7 @@
 #include <string>
 
 #include "campaign/parallel.hpp"
+#include "campaign/prune_plan.hpp"
 #include "campaign/types.hpp"
 #include "netlist/netlist.hpp"
 #include "obs/json.hpp"
@@ -48,6 +49,13 @@ struct JobSpec {
   /// Keep per-experiment records (and, for MC8051 workloads, attach the
   /// golden-run instruction trace for PC attribution).
   bool keepRecords = true;
+  /// Liveness-based fault-list pruning: workers fold each campaign through
+  /// a fades.prune/1 plan (derived deterministically from this spec), run
+  /// one representative per equivalence class and synthesize the collapsed
+  /// members from it. Changes the artifact's records (pruned members carry
+  /// `pruned_from`), so it is part of the job identity; serialized only
+  /// when set, keeping every pre-pruning fingerprint stable.
+  bool prune = false;
   /// Artifact name; empty derives the campaign_8051 convention
   /// (model_targets_unit) via defaultName().
   std::string name;
@@ -78,6 +86,9 @@ struct CampaignSystem {
   netlist::Netlist netlist;
   std::optional<synth::Implementation> impl;
   campaign::EngineFactory factory;
+  /// Output ports defining Failure for this workload - what the tools
+  /// observe, and what the prune analysis treats as externally visible.
+  std::vector<std::string> observedOutputs;
 };
 
 /// Wall-clock-only build knobs. Deliberately OUTSIDE the JobSpec (and its
@@ -100,5 +111,12 @@ std::shared_ptr<CampaignSystem> buildSystem(const JobSpec& job,
 /// includeMetrics=false) - the byte-identity target of the service.
 std::string artifactText(const JobSpec& job,
                          const campaign::CampaignResult& result);
+
+/// The single plan-construction path for job.prune: record the golden trace
+/// of the system's workload and fold the campaign through
+/// prune::buildPlan with the tool's own decoder/namer. A pure function of
+/// the JobSpec, so every worker (and the single-process CLI) derives the
+/// identical plan. Requires tool fades or vfit.
+campaign::PrunePlan buildPrunePlan(const CampaignSystem& sys);
 
 }  // namespace fades::service

@@ -170,8 +170,60 @@ WorkerDaemon::CachedSystem& WorkerDaemon::systemFor(const JobSpec& job,
   require(cached.engine != nullptr, ErrorKind::InvalidArgument,
           "engine factory returned null");
   cached.pool = cached.engine->enumeratePool(job.spec);
+  if (job.prune) {
+    // Every worker derives the identical plan (a pure function of the job),
+    // so synthesized outcomes still satisfy the byzantine agreement checks.
+    cached.plan = buildPrunePlan(*cached.system);
+    cached.memberClass = cached.plan.memberClassIndex();
+  }
   cached.lastUsed = ++useSeq_;
   return systems_.emplace(fp, std::move(cached)).first->second;
+}
+
+campaign::ExperimentOutcome WorkerDaemon::runJobExperiment(
+    CachedSystem& sys, const JobSpec& job, std::uint64_t index,
+    obs::Counter& quarantined) {
+  if (job.prune && index < sys.memberClass.size() &&
+      sys.memberClass[index] >= 0) {
+    const auto& cls =
+        sys.plan.classes[static_cast<std::size_t>(sys.memberClass[index])];
+    auto rep = sys.repOutcomes.find(cls.representative);
+    if (rep == sys.repOutcomes.end()) {
+      // The representative may be leased to another worker (or to this one,
+      // later); outcomes are pure functions of (job, index), so running it
+      // locally once reproduces the identical result for cloning.
+      rep = sys.repOutcomes
+                .emplace(cls.representative,
+                         campaign::runExperimentWithRetry(
+                             *sys.engine, job.spec, sys.pool,
+                             static_cast<unsigned>(cls.representative),
+                             opt_.experimentAttempts, quarantined))
+                .first;
+    }
+    if (!rep->second.quarantined) {
+      return sys.engine->synthesizeOutcome(job.spec, sys.pool,
+                                           static_cast<unsigned>(index),
+                                           rep->second);
+    }
+  }
+  auto outcome = campaign::runExperimentWithRetry(
+      *sys.engine, job.spec, sys.pool, static_cast<unsigned>(index),
+      opt_.experimentAttempts, quarantined);
+  if (job.prune && index < sys.memberClass.size() &&
+      sys.memberClass[index] < 0) {
+    // Cache representatives executed through regular leases so members
+    // leased later clone instead of re-running them. Classes are sorted by
+    // representative index.
+    const auto it = std::lower_bound(
+        sys.plan.classes.begin(), sys.plan.classes.end(), index,
+        [](const campaign::PruneClass& c, std::uint64_t idx) {
+          return c.representative < idx;
+        });
+    if (it != sys.plan.classes.end() && it->representative == index) {
+      sys.repOutcomes.emplace(index, outcome);
+    }
+  }
+  return outcome;
 }
 
 void WorkerDaemon::runLease(const Socket& sock, const Json& lease) {
@@ -231,9 +283,7 @@ void WorkerDaemon::runLease(const Socket& sock, const Json& lease) {
     if (stop_.load()) return;  // abandon; the lease expires on its own
     ExperimentOutcome outcome;
     try {
-      outcome = campaign::runExperimentWithRetry(
-          *sys->engine, job.spec, sys->pool, static_cast<unsigned>(i),
-          opt_.experimentAttempts, quarantined);
+      outcome = runJobExperiment(*sys, job, i, quarantined);
     } catch (const FadesError& e) {
       if (e.kind() == ErrorKind::LinkError) throw;
       poisoned_[fp] = e.what();

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "campaign/types.hpp"
+#include "obs/metrics.hpp"
 #include "service/jobspec.hpp"
 #include "service/wire.hpp"
 
@@ -78,6 +79,12 @@ class WorkerDaemon {
     std::shared_ptr<CampaignSystem> system;
     std::unique_ptr<campaign::CampaignEngine> engine;
     std::vector<std::uint32_t> pool;
+    /// job.prune only: the deterministic fades.prune/1 plan, the member ->
+    /// class map, and the representatives this worker has already executed
+    /// (a member leased before its representative runs it on demand, once).
+    campaign::PrunePlan plan;
+    std::vector<std::int32_t> memberClass;
+    std::map<std::uint64_t, campaign::ExperimentOutcome> repOutcomes;
     std::uint64_t lastUsed = 0;
   };
 
@@ -86,6 +93,13 @@ class WorkerDaemon {
   Served serveConnection(const Socket& sock);
   void runLease(const Socket& sock, const obs::Json& lease);
   CachedSystem& systemFor(const JobSpec& job, const std::string& fp);
+  /// One experiment of `job`: executed normally, or - for a collapsed
+  /// member of a prune plan - synthesized from its class representative
+  /// (run locally on demand and cached).
+  campaign::ExperimentOutcome runJobExperiment(CachedSystem& sys,
+                                               const JobSpec& job,
+                                               std::uint64_t index,
+                                               obs::Counter& quarantined);
   void sleepInterruptible(int ms);
 
   WorkerOptions opt_;

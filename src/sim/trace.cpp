@@ -1,0 +1,25 @@
+#include "sim/trace.hpp"
+
+namespace fades::sim {
+
+GoldenTrace GoldenTrace::record(Engine& engine,
+                                const netlist::Netlist& netlist,
+                                std::uint64_t cycles) {
+  GoldenTrace trace;
+  trace.cycles_ = cycles;
+  trace.netCount_ = netlist.netCount();
+  trace.wordsPerCycle_ = (trace.netCount_ + 63) / 64;
+  trace.words_.assign((cycles + 1) * trace.wordsPerCycle_, 0);
+
+  engine.reset();
+  for (std::uint64_t c = 0; c <= cycles; ++c) {
+    std::uint64_t* row = trace.words_.data() + c * trace.wordsPerCycle_;
+    for (std::uint32_t n = 0; n < trace.netCount_; ++n) {
+      if (engine.netValue(netlist::NetId{n})) row[n >> 6] |= 1ull << (n & 63u);
+    }
+    if (c < cycles) engine.step();
+  }
+  return trace;
+}
+
+}  // namespace fades::sim

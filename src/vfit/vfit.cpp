@@ -397,6 +397,22 @@ campaign::ExperimentOutcome VfitTool::runCampaignExperiment(
   return makeOutcome(spec, plan, o);
 }
 
+campaign::ExperimentOutcome VfitTool::synthesizeCampaignExperiment(
+    const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+    unsigned index, const campaign::ExperimentOutcome& representative) const {
+  // Costs come from this experiment's OWN plan - VFIT's cost model is a
+  // pure function of (target, instant, window) - so only the behavioral
+  // outcome is cloned from the representative.
+  campaign::ExperimentOutcome out =
+      makeOutcome(spec, planExperiment(spec, pool, index),
+                  representative.outcome);
+  out.attempts = 0;
+  if (out.hasRecord) {
+    out.record.prunedFrom = static_cast<std::int64_t>(representative.index);
+  }
+  return out;
+}
+
 std::vector<campaign::ExperimentOutcome> VfitTool::runCampaignWave(
     const CampaignSpec& spec, std::span<const std::uint32_t> pool,
     std::span<const unsigned> indices) {
@@ -610,6 +626,12 @@ std::vector<campaign::ExperimentOutcome> VfitCampaignEngine::runWaveAt(
     return tool_.runCampaignWave(spec, pool, indices);
   }
   return CampaignEngine::runWaveAt(spec, pool, indices, rerun);
+}
+
+campaign::ExperimentOutcome VfitCampaignEngine::synthesizeOutcome(
+    const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+    unsigned index, const campaign::ExperimentOutcome& representative) {
+  return tool_.synthesizeCampaignExperiment(spec, pool, index, representative);
 }
 
 campaign::EngineFactory vfitEngineFactory(const Netlist& netlist,

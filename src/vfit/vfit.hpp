@@ -148,6 +148,14 @@ class VfitTool {
                           std::span<const std::uint32_t> pool,
                           unsigned index) const;
 
+  /// Materialize experiment `index` from its fades.prune/1 class
+  /// representative without simulating: the cost model is a pure function
+  /// of the experiment's own plan (re-derived here), and the behavioral
+  /// outcome is cloned from the representative the plan proved equivalent.
+  campaign::ExperimentOutcome synthesizeCampaignExperiment(
+      const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+      unsigned index, const campaign::ExperimentOutcome& representative) const;
+
  private:
   Unit targetUnit(const CampaignSpec& spec, std::uint32_t target) const;
   campaign::ExperimentOutcome makeOutcome(const CampaignSpec& spec,
@@ -194,6 +202,10 @@ class VfitCampaignEngine final : public campaign::CampaignEngine {
   std::vector<campaign::ExperimentOutcome> runWaveAt(
       const CampaignSpec& spec, std::span<const std::uint32_t> pool,
       std::span<const unsigned> indices, unsigned rerun) override;
+  campaign::ExperimentOutcome synthesizeOutcome(
+      const CampaignSpec& spec, std::span<const std::uint32_t> pool,
+      unsigned index, const campaign::ExperimentOutcome& representative)
+      override;
 
   VfitTool& tool() { return tool_; }
 

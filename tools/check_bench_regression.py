@@ -39,7 +39,7 @@ def cache_ratios(path):
     by_name = {
         b["name"]: throughput(b)
         for b in data.get("benchmarks", [])
-        if b.get("run_type", "iteration") == "iteration"
+        if b.get("run_type", "iteration") == "iteration" and "name" in b
     }
     ratios = {}
     for name, ips in by_name.items():
@@ -83,8 +83,18 @@ def main():
 
     if args.baseline:
         base = cache_ratios(args.baseline)
+        # A pair present in the baseline but absent from the current run is a
+        # hard failure naming the culprit - a silently dropped benchmark must
+        # not read as "no regression".
+        for pair in sorted(set(base) - set(ratios)):
+            print(
+                f"FAIL: baseline benchmark pair {pair} "
+                f"(e.g. BM_{pair}Cached) is missing from {args.current}"
+            )
+            failed = True
         for pair, ratio in sorted(ratios.items()):
             if pair not in base:
+                print(f"{pair}: new pair, not in baseline - skipping ratio check")
                 continue
             floor = base[pair] * (1.0 - args.tolerance)
             status = "ok" if ratio >= floor else "FAIL"

@@ -238,6 +238,13 @@ int main(int argc, char** argv) {
     }
 
     if (!replayDir.empty()) {
+      // A vanished or empty corpus must read as a usage error (exit 2), not
+      // as a clean zero-case replay - CI greps would otherwise pass on a
+      // directory typo.
+      std::error_code ec;
+      if (!std::filesystem::is_directory(replayDir, ec)) {
+        usageError("corpus directory not found: " + replayDir);
+      }
       const auto files = diffcheck::listCorpusFiles(replayDir);
       if (files.empty()) usageError("no case files in " + replayDir);
       std::vector<CaseSpec> specs;
